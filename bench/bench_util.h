@@ -1,0 +1,74 @@
+// Shared plumbing for the figure benches: standard run durations, the
+// DCTCP-vs-DIBS comparison row, and CDF printing.
+//
+// Durations are scaled down from the paper's runs so that the whole bench
+// suite finishes in minutes on one machine; EXPERIMENTS.md records how the
+// measured shapes compare to the paper's. Override the duration with the
+// DIBS_BENCH_DURATION_MS environment variable for longer, tighter runs.
+
+#ifndef BENCH_BENCH_UTIL_H_
+#define BENCH_BENCH_UTIL_H_
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "src/harness/config.h"
+#include "src/harness/scenario.h"
+#include "src/harness/table.h"
+
+namespace dibs {
+namespace bench {
+
+// Default simulated duration for one figure point.
+inline Time BenchDuration(Time fallback = Time::Millis(400)) {
+  if (const char* env = std::getenv("DIBS_BENCH_DURATION_MS"); env != nullptr) {
+    return Time::Millis(std::atoll(env));
+  }
+  return fallback;
+}
+
+// Applies the shared run-control settings to a preset config.
+inline ExperimentConfig Standard(ExperimentConfig c, Time duration) {
+  c.duration = duration;
+  c.drain = Time::Millis(150);
+  c.seed = 1;
+  return c;
+}
+
+// Prints a (value, cumulative fraction) CDF as rows.
+inline void PrintCdf(const std::string& series_name,
+                     const std::vector<std::pair<double, double>>& cdf,
+                     const std::string& value_label) {
+  TablePrinter table({"series", value_label, "cum_frac"}, {24, 0, 0});
+  table.PrintHeader();
+  for (const auto& [value, frac] : cdf) {
+    table.PrintRow({series_name, TablePrinter::Num(value, 4), TablePrinter::Num(frac, 3)});
+  }
+}
+
+// The standard two-scheme comparison row most figures print.
+struct ComparisonRow {
+  double dctcp_qct99 = 0;
+  double dibs_qct99 = 0;
+  double dctcp_bgfct99 = 0;
+  double dibs_bgfct99 = 0;
+  ScenarioResult dctcp;
+  ScenarioResult dibs;
+};
+
+inline ComparisonRow CompareSchemes(ExperimentConfig base_dctcp, ExperimentConfig base_dibs) {
+  ComparisonRow row;
+  row.dctcp = RunScenario(base_dctcp);
+  row.dibs = RunScenario(base_dibs);
+  row.dctcp_qct99 = row.dctcp.qct99_ms;
+  row.dibs_qct99 = row.dibs.qct99_ms;
+  row.dctcp_bgfct99 = row.dctcp.bg_fct99_ms;
+  row.dibs_bgfct99 = row.dibs.bg_fct99_ms;
+  return row;
+}
+
+}  // namespace bench
+}  // namespace dibs
+
+#endif  // BENCH_BENCH_UTIL_H_

@@ -1,0 +1,33 @@
+// Figure 7: 99th-percentile QCT vs switch buffer size (25-700 packets/port),
+// DCTCP vs DCTCP+DIBS vs DCTCP with infinite buffers. Paper result: DIBS
+// tracks the infinite-buffer ideal even at small buffers, while plain DCTCP
+// degrades badly (log-scale QCT) as buffers shrink.
+
+#include "bench/bench_util.h"
+
+using namespace dibs;
+using namespace dibs::bench;
+
+int main() {
+  PrintFigureBanner("Figure 7", "QCT vs switch buffer size",
+                    "defaults: 300 qps, degree 40, response 20KB, bg 120ms");
+  const Time duration = BenchDuration();
+
+  // The infinite-buffer reference is buffer-size independent: run once.
+  const ScenarioResult infinite = RunScenario(Standard(InfiniteBufferConfig(), duration));
+
+  TablePrinter table({"buffer_pkts", "qct99_dctcp_ms", "qct99_dibs_ms", "qct99_inf_ms",
+                      "dctcp_drops", "dibs_drops"});
+  table.PrintHeader();
+  for (size_t buffer : {25, 100, 300, 500, 700}) {
+    ExperimentConfig dctcp = Standard(DctcpConfig(), duration);
+    ExperimentConfig dibs = Standard(DibsConfig(), duration);
+    dctcp.net.switch_buffer_packets = buffer;
+    dibs.net.switch_buffer_packets = buffer;
+    const ComparisonRow row = CompareSchemes(dctcp, dibs);
+    table.PrintRow({TablePrinter::Int(buffer), TablePrinter::Num(row.dctcp_qct99),
+                    TablePrinter::Num(row.dibs_qct99), TablePrinter::Num(infinite.qct99_ms),
+                    TablePrinter::Int(row.dctcp.drops), TablePrinter::Int(row.dibs.drops)});
+  }
+  return 0;
+}

@@ -1,0 +1,31 @@
+// Figure 10: impact of query response size.
+// Sweep the per-responder response 20-50KB. Paper result: DIBS's QCT edge
+// shrinks as responses grow (21ms at 20KB down to 6ms at 50KB) because big
+// detour swarms start triggering spurious timeouts; background damage grows
+// slightly (1.2ms -> 4.4ms).
+
+#include "bench/bench_util.h"
+
+using namespace dibs;
+using namespace dibs::bench;
+
+int main() {
+  PrintFigureBanner("Figure 10", "Variable response size",
+                    "bg inter-arrival 120ms, incast degree 40, 300 qps");
+  const Time duration = BenchDuration();
+  TablePrinter table({"response_kb", "qct99_dctcp_ms", "qct99_dibs_ms", "bgfct99_dctcp_ms",
+                      "bgfct99_dibs_ms", "dctcp_drops", "dibs_drops"});
+  table.PrintHeader();
+  for (int kb : {20, 30, 40, 50}) {
+    ExperimentConfig dctcp = Standard(DctcpConfig(), duration);
+    ExperimentConfig dibs = Standard(DibsConfig(), duration);
+    dctcp.response_bytes = static_cast<uint64_t>(kb) * 1000;
+    dibs.response_bytes = static_cast<uint64_t>(kb) * 1000;
+    const ComparisonRow row = CompareSchemes(dctcp, dibs);
+    table.PrintRow({TablePrinter::Int(static_cast<uint64_t>(kb)),
+                    TablePrinter::Num(row.dctcp_qct99), TablePrinter::Num(row.dibs_qct99),
+                    TablePrinter::Num(row.dctcp_bgfct99), TablePrinter::Num(row.dibs_bgfct99),
+                    TablePrinter::Int(row.dctcp.drops), TablePrinter::Int(row.dibs.drops)});
+  }
+  return 0;
+}

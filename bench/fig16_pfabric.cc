@@ -1,0 +1,36 @@
+// Figure 16: DCTCP+DIBS vs pFabric across query rates (300-2000 qps).
+// Paper result: (a) pFabric's strict shortest-remaining-first scheduling
+// hurts background flows as query load grows, while DIBS stays gentle;
+// (b) at high query rates DIBS matches or slightly beats pFabric's 99th QCT
+// because pFabric's shallow 24-packet queues drop and retransmit heavily.
+
+#include "bench/bench_util.h"
+
+using namespace dibs;
+using namespace dibs::bench;
+
+int main() {
+  PrintFigureBanner("Figure 16", "DIBS vs pFabric",
+                    "bg inter-arrival 120ms, incast degree 40, response 20KB");
+  // Figure 16a's damage shows up on LARGE background flows (pFabric's SRPT
+  // scheduling starves them), so report both the short-flow FCT and the
+  // all-background-flow FCT tails.
+  TablePrinter table({"qps", "qct99_pfabric_ms", "qct99_dibs_ms", "bgfct99short_pf_ms",
+                      "bgfct99short_dibs_ms", "bgfct99all_pf_ms", "bgfct99all_dibs_ms"});
+  table.PrintHeader();
+  for (int qps : {300, 500, 1000, 1500, 2000}) {
+    const Time duration = BenchDuration(qps <= 500 ? Time::Millis(400) : Time::Millis(200));
+    ExperimentConfig pfabric = Standard(PfabricExperimentConfig(), duration);
+    ExperimentConfig dibs = Standard(DibsConfig(), duration);
+    pfabric.qps = qps;
+    dibs.qps = qps;
+    const ScenarioResult pf = RunScenario(pfabric);
+    const ScenarioResult db = RunScenario(dibs);
+    table.PrintRow({TablePrinter::Int(static_cast<uint64_t>(qps)),
+                    TablePrinter::Num(pf.qct99_ms), TablePrinter::Num(db.qct99_ms),
+                    TablePrinter::Num(pf.bg_fct99_ms), TablePrinter::Num(db.bg_fct99_ms),
+                    TablePrinter::Num(pf.bg_fct99_all_ms),
+                    TablePrinter::Num(db.bg_fct99_all_ms)});
+  }
+  return 0;
+}

@@ -1,0 +1,129 @@
+// Simulator-core micro-benchmarks: event queue throughput, FIB/ECMP lookup,
+// queue disciplines, and the end-to-end packet-hop rate through a switch.
+// These bound how much simulated traffic the figure benches can afford.
+
+#include <benchmark/benchmark.h>
+
+#include "src/device/host_node.h"
+#include "src/device/network.h"
+#include "src/net/droptail_queue.h"
+#include "src/net/pfabric_queue.h"
+#include "src/sim/simulator.h"
+#include "src/topo/builders.h"
+#include "src/topo/routing.h"
+#include "src/util/stats_util.h"
+
+namespace dibs {
+namespace {
+
+void BM_EventScheduleAndRun(benchmark::State& state) {
+  Simulator sim;
+  int64_t t = 1;
+  for (auto _ : state) {
+    sim.Schedule(Time::Nanos(t++ % 1000), [] {});
+    if (t % 64 == 0) {
+      sim.Run();
+    }
+  }
+  sim.Run();
+  state.counters["events/s"] =
+      benchmark::Counter(static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_EventScheduleAndRun);
+
+void BM_FibCompute(benchmark::State& state) {
+  const Topology topo = BuildPaperFatTree();
+  for (auto _ : state) {
+    const Fib fib = Fib::Compute(topo);
+    benchmark::DoNotOptimize(fib.num_nodes());
+  }
+}
+BENCHMARK(BM_FibCompute);
+
+void BM_EcmpLookup(benchmark::State& state) {
+  const Topology topo = BuildPaperFatTree();
+  const Fib fib = Fib::Compute(topo);
+  FlowId flow = 1;
+  for (auto _ : state) {
+    const uint16_t port = fib.EcmpPort(/*node=*/16, static_cast<HostId>(flow % 128), flow);
+    benchmark::DoNotOptimize(port);
+    ++flow;
+  }
+  state.counters["lookups/s"] =
+      benchmark::Counter(static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_EcmpLookup);
+
+void BM_DropTailEnqueueDequeue(benchmark::State& state) {
+  DropTailQueue q(/*capacity=*/128, /*mark=*/20);
+  for (auto _ : state) {
+    Packet p;
+    p.size_bytes = 1500;
+    p.ect = true;
+    q.Enqueue(std::move(p));
+    benchmark::DoNotOptimize(q.Dequeue());
+  }
+}
+BENCHMARK(BM_DropTailEnqueueDequeue);
+
+void BM_PfabricEnqueueDequeue(benchmark::State& state) {
+  PfabricQueue q(24);
+  int64_t prio = 1;
+  for (auto _ : state) {
+    Packet p;
+    p.size_bytes = 1500;
+    p.priority = (prio = prio * 2654435761 % 100000) + 1;
+    p.flow = static_cast<FlowId>(prio % 40);
+    q.Enqueue(std::move(p));
+    if (prio % 2 == 0) {
+      benchmark::DoNotOptimize(q.Dequeue());
+    }
+  }
+}
+BENCHMARK(BM_PfabricEnqueueDequeue);
+
+void BM_SwitchPacketHop(benchmark::State& state) {
+  // End-to-end cost of pushing one packet across the fat-tree (5 switch
+  // hops), amortized: events per packet-hop including transmission events.
+  Simulator sim;
+  Network net(&sim, BuildPaperFatTree(), NetworkConfig{});
+  uint64_t batch = 0;
+  for (auto _ : state) {
+    Packet p;
+    p.uid = net.NextPacketUid();
+    p.src = static_cast<HostId>(batch % 64);
+    p.dst = static_cast<HostId>(127 - batch % 64);
+    p.size_bytes = 1500;
+    p.ttl = 64;
+    p.flow = batch;
+    net.host(p.src).Send(std::move(p));
+    if (++batch % 32 == 0) {
+      sim.Run();
+    }
+  }
+  sim.Run();
+  state.counters["pkts/s"] =
+      benchmark::Counter(static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SwitchPacketHop);
+
+void BM_PercentileOf100k(benchmark::State& state) {
+  std::vector<double> values;
+  values.reserve(100000);
+  uint64_t x = 88172645463325252ull;
+  for (int i = 0; i < 100000; ++i) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    values.push_back(static_cast<double>(x % 1000000));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Percentile(values, 99));
+  }
+}
+BENCHMARK(BM_PercentileOf100k);
+
+}  // namespace
+}  // namespace dibs
+
+BENCHMARK_MAIN();

@@ -1,0 +1,62 @@
+// Incast study on the Click/Emulab testbed topology (§5.2): how the three
+// switch settings — infinite buffers, 100-packet droptail, and DIBS — handle
+// a classic partition/aggregate burst, with per-flow visibility.
+
+#include <iostream>
+
+#include "src/device/host_node.h"
+#include "src/device/network.h"
+#include "src/topo/builders.h"
+#include "src/transport/flow_manager.h"
+#include "src/util/stats_util.h"
+
+using namespace dibs;
+
+namespace {
+
+void RunSetting(const char* name, const std::string& policy, size_t buffer,
+                uint32_t dupack_threshold) {
+  NetworkConfig net_cfg;
+  net_cfg.switch_buffer_packets = buffer;
+  net_cfg.ecn_threshold_packets = 20;
+  net_cfg.detour_policy = policy;
+  TcpConfig tcp_cfg;
+  tcp_cfg.dupack_threshold = dupack_threshold;
+
+  Simulator sim(1);
+  Network net(&sim, BuildEmulabTestbed(), net_cfg);
+  FlowManager flows(&net, TransportKind::kDctcp, tcp_cfg);
+
+  // §5.2: servers 0-4 each send ten simultaneous 32KB flows to server 5.
+  std::vector<double> fct_ms;
+  Time qct;
+  uint32_t timeouts = 0;
+  for (HostId src = 0; src < 5; ++src) {
+    for (int i = 0; i < 10; ++i) {
+      flows.StartFlow(src, 5, 32000, TrafficClass::kQuery,
+                      [&](const FlowResult& r) {
+                        fct_ms.push_back(r.fct.ToMillis());
+                        qct = std::max(qct, r.completion_time);
+                        timeouts += r.timeouts;
+                      });
+    }
+  }
+  sim.Run();
+
+  const Summary s = Summarize(fct_ms);
+  std::cout << name << "  QCT " << qct.ToMillis() << " ms | flow FCT p50 " << s.p50
+            << " / p99 " << s.p99 << " ms | drops " << net.total_drops() << " | detours "
+            << net.total_detours() << " | timeouts " << timeouts << "\n";
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Incast study (Emulab testbed, 5 servers x 10 x 32KB -> server 5)\n\n";
+  RunSetting("InfiniteBuf ", "none", /*buffer=*/0, /*dupack=*/3);
+  RunSetting("Droptail100 ", "none", 100, 3);
+  RunSetting("Detour      ", "random", 100, /*dupack=*/0);
+  std::cout << "\nDroptail's QCT tail comes from drops -> 10ms minRTO timeouts; detouring\n"
+               "keeps every flow inside the burst's natural drain time (paper Figure 6).\n";
+  return 0;
+}

@@ -1,0 +1,37 @@
+// §7 "Other detouring policies": random (the paper's default), load-aware,
+// flow-based, and probabilistic detouring on the same incast-heavy workload,
+// plus the no-detour baseline. Shows the knobs MakeDetourPolicy exposes and
+// that the parameterless random policy is already competitive.
+
+#include <iostream>
+
+#include "src/harness/config.h"
+#include "src/harness/scenario.h"
+#include "src/harness/table.h"
+
+using namespace dibs;
+
+int main() {
+  std::cout << "Detour-policy comparison (K=8 fat-tree, degree 60, 500 qps, 20KB)\n\n";
+  TablePrinter table({"policy", "qct99_ms", "bgfct99_ms", "drops", "detours", "detour_frac"});
+  table.PrintHeader();
+  for (const char* policy : {"none", "random", "load-aware", "flow-based", "probabilistic"}) {
+    ExperimentConfig cfg = DibsConfig();
+    cfg.net.detour_policy = policy;
+    if (std::string(policy) == "none") {
+      cfg.tcp = TcpConfig::DctcpDefault();  // keep fast retransmit when dropping
+      cfg.label = "DCTCP";
+    }
+    cfg.incast_degree = 60;
+    cfg.qps = 500;
+    cfg.duration = Time::Millis(250);
+    cfg.seed = 99;
+    const ScenarioResult r = RunScenario(cfg);
+    table.PrintRow({policy, TablePrinter::Num(r.qct99_ms), TablePrinter::Num(r.bg_fct99_ms),
+                    TablePrinter::Int(r.drops), TablePrinter::Int(r.detours),
+                    TablePrinter::Num(r.detoured_fraction, 3)});
+  }
+  std::cout << "\nrandom is the paper's default: parameterless and within noise of the\n"
+               "smarter policies on a fat-tree, where ECMP already balances load (§7).\n";
+  return 0;
+}

@@ -1,0 +1,139 @@
+#include "src/core/detour_policy.h"
+
+#include <algorithm>
+
+#include "src/util/logging.h"
+
+namespace dibs {
+
+std::vector<const DetourPortInfo*> DetourPolicy::EligiblePorts(const DetourContext& ctx) {
+  DIBS_DCHECK(ctx.ports != nullptr);
+  std::vector<const DetourPortInfo*> eligible;
+  eligible.reserve(ctx.ports->size());
+  for (const DetourPortInfo& info : *ctx.ports) {
+    if (info.port == ctx.desired_port) {
+      continue;  // the full queue we are escaping
+    }
+    if (!info.to_switch) {
+      continue;  // hosts do not forward packets not meant for them (§2)
+    }
+    if (info.full) {
+      continue;  // never detour into another full buffer (§2)
+    }
+    eligible.push_back(&info);
+  }
+  return eligible;
+}
+
+std::optional<uint16_t> RandomDetour::ChoosePort(const DetourContext& ctx, Rng& rng) {
+  const auto eligible = EligiblePorts(ctx);
+  if (eligible.empty()) {
+    return std::nullopt;
+  }
+  const auto pick =
+      static_cast<size_t>(rng.UniformInt(0, static_cast<int64_t>(eligible.size()) - 1));
+  return eligible[pick]->port;
+}
+
+std::optional<uint16_t> LoadAwareDetour::ChoosePort(const DetourContext& ctx, Rng& rng) {
+  const auto eligible = EligiblePorts(ctx);
+  if (eligible.empty()) {
+    return std::nullopt;
+  }
+  size_t best_len = SIZE_MAX;
+  for (const DetourPortInfo* info : eligible) {
+    best_len = std::min(best_len, info->queue_len);
+  }
+  std::vector<uint16_t> best;
+  for (const DetourPortInfo* info : eligible) {
+    if (info->queue_len == best_len) {
+      best.push_back(info->port);
+    }
+  }
+  const auto pick = static_cast<size_t>(rng.UniformInt(0, static_cast<int64_t>(best.size()) - 1));
+  return best[pick];
+}
+
+std::optional<uint16_t> FlowBasedDetour::ChoosePort(const DetourContext& ctx, Rng& rng) {
+  const auto eligible = EligiblePorts(ctx);
+  if (eligible.empty()) {
+    return std::nullopt;
+  }
+  DIBS_DCHECK(ctx.packet != nullptr);
+  // Hash (flow, node) so one flow leaves one switch through a consistent
+  // detour port, but different switches decorrelate.
+  uint64_t x = ctx.packet->flow * 0xD6E8FEB86659FD93ull +
+               static_cast<uint64_t>(ctx.node) * 0x9E3779B97F4A7C15ull;
+  x ^= x >> 32;
+  x *= 0xD6E8FEB86659FD93ull;
+  x ^= x >> 32;
+  return eligible[x % eligible.size()]->port;
+}
+
+bool ProbabilisticDetour::ShouldDetourEarly(const DetourContext& ctx, Rng& rng) {
+  if (ctx.desired_queue_cap == 0) {
+    return false;  // unbounded queue never triggers early detouring
+  }
+  DIBS_DCHECK(ctx.packet != nullptr);
+  // Query traffic (high priority per §7) is only detoured when the queue is
+  // actually full; background and long-lived traffic starts moving aside once
+  // occupancy passes the onset, with probability ramping linearly to 1.
+  if (ctx.packet->traffic_class == TrafficClass::kQuery) {
+    return false;
+  }
+  const double occupancy =
+      static_cast<double>(ctx.desired_queue_len) / static_cast<double>(ctx.desired_queue_cap);
+  if (occupancy < onset_) {
+    return false;
+  }
+  const double p = (occupancy - onset_) / (1.0 - onset_);
+  return rng.Bernoulli(p);
+}
+
+std::optional<uint16_t> ProbabilisticDetour::ChoosePort(const DetourContext& ctx, Rng& rng) {
+  // Port selection itself is load-aware-ish: prefer emptier queues by
+  // weighting each eligible port by its free space.
+  const auto eligible = EligiblePorts(ctx);
+  if (eligible.empty()) {
+    return std::nullopt;
+  }
+  double total_weight = 0.0;
+  std::vector<double> weights(eligible.size());
+  for (size_t i = 0; i < eligible.size(); ++i) {
+    const DetourPortInfo* info = eligible[i];
+    const double cap = info->queue_cap == 0 ? static_cast<double>(info->queue_len + 64)
+                                            : static_cast<double>(info->queue_cap);
+    weights[i] = std::max(1.0, cap - static_cast<double>(info->queue_len));
+    total_weight += weights[i];
+  }
+  double draw = rng.UniformDouble() * total_weight;
+  for (size_t i = 0; i < eligible.size(); ++i) {
+    draw -= weights[i];
+    if (draw <= 0.0) {
+      return eligible[i]->port;
+    }
+  }
+  return eligible.back()->port;
+}
+
+std::unique_ptr<DetourPolicy> MakeDetourPolicy(const std::string& name) {
+  if (name == "none") {
+    return std::make_unique<NoDetour>();
+  }
+  if (name == "random") {
+    return std::make_unique<RandomDetour>();
+  }
+  if (name == "load-aware") {
+    return std::make_unique<LoadAwareDetour>();
+  }
+  if (name == "flow-based") {
+    return std::make_unique<FlowBasedDetour>();
+  }
+  if (name == "probabilistic") {
+    return std::make_unique<ProbabilisticDetour>();
+  }
+  DIBS_LOG(kFatal) << "unknown detour policy: " << name;
+  return nullptr;
+}
+
+}  // namespace dibs

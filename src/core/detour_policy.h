@@ -1,0 +1,120 @@
+// Detour-induced buffer sharing (DIBS) — the paper's core mechanism.
+//
+// A DetourPolicy answers the four questions of §2: when to start detouring,
+// which packets, where to, and when to stop. The switch invokes the policy
+// when (and, for ProbabilisticDetour, slightly before) the desired output
+// queue is full. Hard rules enforced by eligibility filtering, per §2:
+//   * never detour to a host-facing port (hosts do not forward),
+//   * never detour to a port whose own queue is full,
+//   * the input port IS eligible (packets may bounce straight back, Fig 1).
+// The paper's default policy is RandomDetour — parameterless by design.
+
+#ifndef SRC_CORE_DETOUR_POLICY_H_
+#define SRC_CORE_DETOUR_POLICY_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/net/packet.h"
+#include "src/util/rng.h"
+
+namespace dibs {
+
+inline constexpr uint16_t kNoPort = UINT16_MAX;
+
+// Snapshot of one output port, assembled by the switch per decision.
+struct DetourPortInfo {
+  uint16_t port = kNoPort;
+  bool to_switch = false;  // peer is a switch (eligible) vs a host (never eligible)
+  bool full = false;       // that port's queue would refuse this packet
+  size_t queue_len = 0;
+  size_t queue_cap = 0;  // 0 = unbounded
+};
+
+struct DetourContext {
+  int node = -1;               // switch making the decision
+  uint16_t desired_port = kNoPort;
+  uint16_t in_port = kNoPort;  // arrival port; kNoPort for host-originated injection
+  size_t desired_queue_len = 0;
+  size_t desired_queue_cap = 0;
+  const Packet* packet = nullptr;
+  const std::vector<DetourPortInfo>* ports = nullptr;  // all ports of the switch
+};
+
+class DetourPolicy {
+ public:
+  virtual ~DetourPolicy() = default;
+
+  virtual std::string name() const = 0;
+
+  // Called while the desired queue still has room; returning true forces a
+  // detour anyway. Only ProbabilisticDetour uses this (§7). Default: never.
+  virtual bool ShouldDetourEarly(const DetourContext& ctx, Rng& rng) { return false; }
+
+  // Picks the detour port among eligible candidates, or nullopt to drop.
+  // Eligible = switch-facing, not full, not the desired port.
+  virtual std::optional<uint16_t> ChoosePort(const DetourContext& ctx, Rng& rng) = 0;
+
+ protected:
+  // Shared eligibility filter used by all concrete policies.
+  static std::vector<const DetourPortInfo*> EligiblePorts(const DetourContext& ctx);
+};
+
+// Baseline: never detour — packets are dropped on overflow (plain DCTCP).
+class NoDetour : public DetourPolicy {
+ public:
+  std::string name() const override { return "none"; }
+  std::optional<uint16_t> ChoosePort(const DetourContext& ctx, Rng& rng) override {
+    return std::nullopt;
+  }
+};
+
+// The paper's default: uniform random among eligible ports. No parameters.
+class RandomDetour : public DetourPolicy {
+ public:
+  std::string name() const override { return "random"; }
+  std::optional<uint16_t> ChoosePort(const DetourContext& ctx, Rng& rng) override;
+};
+
+// §7 "Load-aware detouring": pick the eligible port with the shortest queue;
+// ties broken uniformly at random.
+class LoadAwareDetour : public DetourPolicy {
+ public:
+  std::string name() const override { return "load-aware"; }
+  std::optional<uint16_t> ChoosePort(const DetourContext& ctx, Rng& rng) override;
+};
+
+// §7 "Flow-based detouring": hash the flow id over the eligible set so all
+// detoured packets of one flow leave through a consistent port.
+class FlowBasedDetour : public DetourPolicy {
+ public:
+  std::string name() const override { return "flow-based"; }
+  std::optional<uint16_t> ChoosePort(const DetourContext& ctx, Rng& rng) override;
+};
+
+// §7 "Probabilistic detouring": detour probability rises with the desired
+// queue's occupancy, and lower-priority traffic detours first; query traffic
+// is treated as high priority (detours only when the queue is truly full).
+class ProbabilisticDetour : public DetourPolicy {
+ public:
+  // `onset_fraction`: occupancy at which low-priority detouring begins.
+  explicit ProbabilisticDetour(double onset_fraction = 0.8) : onset_(onset_fraction) {}
+
+  std::string name() const override { return "probabilistic"; }
+  bool ShouldDetourEarly(const DetourContext& ctx, Rng& rng) override;
+  std::optional<uint16_t> ChoosePort(const DetourContext& ctx, Rng& rng) override;
+
+ private:
+  double onset_;
+};
+
+// Factory by policy name ("none", "random", "load-aware", "flow-based",
+// "probabilistic"). Aborts on unknown names.
+std::unique_ptr<DetourPolicy> MakeDetourPolicy(const std::string& name);
+
+}  // namespace dibs
+
+#endif  // SRC_CORE_DETOUR_POLICY_H_

@@ -1,0 +1,155 @@
+#include "src/device/network.h"
+
+#include <utility>
+
+#include "src/device/host_node.h"
+#include "src/device/switch_node.h"
+#include "src/net/droptail_queue.h"
+#include "src/net/pfabric_queue.h"
+#include "src/net/shared_buffer.h"
+#include "src/util/logging.h"
+
+namespace dibs {
+
+const char* DropReasonName(DropReason reason) {
+  switch (reason) {
+    case DropReason::kQueueOverflow:
+      return "queue-overflow";
+    case DropReason::kNoDetourAvailable:
+      return "no-detour-available";
+    case DropReason::kTtlExpired:
+      return "ttl-expired";
+    case DropReason::kNoRoute:
+      return "no-route";
+  }
+  return "?";
+}
+
+Network::Network(Simulator* sim, Topology topology, NetworkConfig config)
+    : sim_(sim),
+      topo_(std::move(topology)),
+      config_(std::move(config)),
+      fib_(Fib::Compute(topo_)),
+      policy_(MakeDetourPolicy(config_.detour_policy)) {
+  DIBS_CHECK(!(config_.pfabric_queues && config_.use_shared_buffer))
+      << "pFabric and shared-buffer modes are mutually exclusive";
+
+  // Create nodes.
+  nodes_.resize(static_cast<size_t>(topo_.num_nodes()));
+  for (int n = 0; n < topo_.num_nodes(); ++n) {
+    const TopoNode& tn = topo_.node(n);
+    if (tn.kind == NodeKind::kHost) {
+      nodes_[static_cast<size_t>(n)] = std::make_unique<HostNode>(this, n, tn.host_id);
+    } else {
+      nodes_[static_cast<size_t>(n)] = std::make_unique<SwitchNode>(this, n);
+      switch_ids_.push_back(n);
+    }
+  }
+
+  // Per-switch shared pools (DBA mode).
+  pools_.resize(static_cast<size_t>(topo_.num_nodes()));
+  if (config_.use_shared_buffer) {
+    for (int sw : switch_ids_) {
+      pools_[static_cast<size_t>(sw)] = std::make_unique<SharedBufferPool>(
+          config_.shared_buffer_packets, config_.shared_buffer_alpha);
+    }
+  }
+
+  // Create ports: one per incident link per node, in topology port order so
+  // FIB port indices line up.
+  for (int n = 0; n < topo_.num_nodes(); ++n) {
+    const TopoNode& tn = topo_.node(n);
+    const auto& port_refs = topo_.ports(n);
+    for (uint16_t i = 0; i < port_refs.size(); ++i) {
+      const TopoLink& link = topo_.link(port_refs[i].link);
+      std::unique_ptr<Queue> queue;
+      if (tn.kind == NodeKind::kHost) {
+        queue = std::make_unique<DropTailQueue>(config_.host_queue_packets, /*mark=*/0);
+      } else {
+        queue = MakeSwitchQueue(pools_[static_cast<size_t>(n)].get());
+      }
+      auto port = std::make_unique<Port>(sim_, nodes_[static_cast<size_t>(n)].get(), i,
+                                         std::move(queue), link.rate_bps, link.delay);
+      if (tn.kind == NodeKind::kHost) {
+        static_cast<HostNode*>(nodes_[static_cast<size_t>(n)].get())->SetPort(std::move(port));
+        DIBS_CHECK_EQ(port_refs.size(), 1u) << "hosts must have exactly one NIC";
+      } else {
+        static_cast<SwitchNode*>(nodes_[static_cast<size_t>(n)].get())
+            ->AddPort(std::move(port));
+      }
+    }
+  }
+
+  // Wire peers.
+  for (int n = 0; n < topo_.num_nodes(); ++n) {
+    const TopoNode& tn = topo_.node(n);
+    const auto& port_refs = topo_.ports(n);
+    for (uint16_t i = 0; i < port_refs.size(); ++i) {
+      const int peer_node = port_refs[i].neighbor;
+      // Find the peer's port index for this link.
+      const auto& peer_refs = topo_.ports(peer_node);
+      uint16_t peer_port = UINT16_MAX;
+      for (uint16_t j = 0; j < peer_refs.size(); ++j) {
+        if (peer_refs[j].link == port_refs[i].link) {
+          peer_port = j;
+          break;
+        }
+      }
+      DIBS_CHECK_NE(peer_port, UINT16_MAX);
+      Port* port = nullptr;
+      if (tn.kind == NodeKind::kHost) {
+        port = &static_cast<HostNode*>(nodes_[static_cast<size_t>(n)].get())->nic();
+      } else {
+        port = &static_cast<SwitchNode*>(nodes_[static_cast<size_t>(n)].get())->port(i);
+      }
+      port->Connect(nodes_[static_cast<size_t>(peer_node)].get(), peer_port,
+                    IsSwitchKind(topo_.node(peer_node).kind));
+    }
+  }
+}
+
+Network::~Network() = default;
+
+std::unique_ptr<Queue> Network::MakeSwitchQueue(SharedBufferPool* pool) const {
+  if (config_.pfabric_queues) {
+    return std::make_unique<PfabricQueue>(config_.pfabric_buffer_packets);
+  }
+  if (config_.use_shared_buffer) {
+    return std::make_unique<DropTailQueue>(/*capacity=*/0, config_.ecn_threshold_packets, pool);
+  }
+  return std::make_unique<DropTailQueue>(config_.switch_buffer_packets,
+                                         config_.ecn_threshold_packets);
+}
+
+HostNode& Network::host(HostId h) {
+  const int node_id = topo_.host_node(h);
+  return *static_cast<HostNode*>(nodes_[static_cast<size_t>(node_id)].get());
+}
+
+SwitchNode& Network::switch_at(int node_id) {
+  DIBS_DCHECK(IsSwitchNode(node_id));
+  return *static_cast<SwitchNode*>(nodes_[static_cast<size_t>(node_id)].get());
+}
+
+void Network::NotifyDetour(int node, uint16_t port, const Packet& p) {
+  ++total_detours_;
+  for (NetworkObserver* obs : observers_) {
+    obs->OnDetour(node, port, p, sim_->Now());
+  }
+}
+
+void Network::NotifyDrop(int node, const Packet& p, DropReason reason) {
+  ++total_drops_;
+  for (NetworkObserver* obs : observers_) {
+    obs->OnDrop(node, p, reason, sim_->Now());
+  }
+}
+
+void Network::NotifyHostDeliver(HostId host, const Packet& p) {
+  ++total_delivered_;
+  for (NetworkObserver* obs : observers_) {
+    obs->OnHostDeliver(host, p, sim_->Now());
+  }
+}
+
+}  // namespace dibs

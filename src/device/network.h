@@ -1,0 +1,131 @@
+// Network: instantiates hosts, switches, ports, and routing state from a
+// Topology, and provides the shared services the forwarding path needs
+// (simulator access, FIB, detour policy, packet uids, observer fan-out).
+
+#ifndef SRC_DEVICE_NETWORK_H_
+#define SRC_DEVICE_NETWORK_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/detour_policy.h"
+#include "src/device/node.h"
+#include "src/device/observer.h"
+#include "src/sim/simulator.h"
+#include "src/topo/routing.h"
+#include "src/topo/topology.h"
+
+namespace dibs {
+
+class HostNode;
+class Queue;
+class SharedBufferPool;
+class SwitchNode;
+
+struct NetworkConfig {
+  // Switch queues (Table 1 / §5.3 defaults).
+  size_t switch_buffer_packets = 100;  // per output port; 0 = unbounded
+  size_t ecn_threshold_packets = 20;   // DCTCP marking threshold K; 0 disables
+
+  // pFabric mode replaces drop-tail queues with 24-packet priority queues.
+  bool pfabric_queues = false;
+  size_t pfabric_buffer_packets = 24;
+
+  // Shared-memory DBA switches (§5.5.2). When enabled, per-port statics are
+  // replaced by a dynamic threshold over one shared pool per switch.
+  bool use_shared_buffer = false;
+  size_t shared_buffer_packets = 1133;  // ~1.7MB of 1500B slots (Arista 7050QX)
+  double shared_buffer_alpha = 1.0;
+
+  // Host NIC queue; 0 = unbounded (the transport's window is the real bound).
+  size_t host_queue_packets = 0;
+
+  // DIBS configuration.
+  std::string detour_policy = "none";  // none|random|load-aware|flow-based|probabilistic
+  uint8_t initial_ttl = 255;           // §5.5.3 sweeps this down to 12
+
+  // Hop-by-hop Ethernet flow control (§6 comparison): when ANY output queue
+  // of a switch reaches the XOFF watermark, the switch pauses every
+  // neighbor's transmitter toward it (802.3x-style whole-link pause); it
+  // resumes them once EVERY queue has drained to the XON watermark. XOFF
+  // must sit far enough below the per-port capacity that packets already in
+  // flight (one serializing + one propagating per input) still fit — this is
+  // exactly the threshold tuning the paper says makes pause-based flow
+  // control brittle, and which DIBS avoids having.
+  bool pfc_enabled = false;
+  size_t pfc_xoff_packets = 80;  // per output queue; default buffer is 100
+  size_t pfc_xon_packets = 40;
+
+  // Packet-level ECMP (§6): spray each packet uniformly over the equal-cost
+  // next hops instead of hashing per flow. Proposed in the literature but not
+  // widely used — the paper argues even perfect load-aware spraying cannot
+  // help incast (the last hop is the bottleneck); the ablation bench
+  // demonstrates it.
+  bool packet_level_ecmp = false;
+
+  // Allocate per-packet path traces (Figure 1). Expensive; off by default.
+  bool trace_packets = false;
+};
+
+class Network {
+ public:
+  Network(Simulator* sim, Topology topology, NetworkConfig config);
+  ~Network();
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  Simulator& sim() { return *sim_; }
+  const Topology& topology() const { return topo_; }
+  const Fib& fib() const { return fib_; }
+  const NetworkConfig& config() const { return config_; }
+  DetourPolicy& detour_policy() { return *policy_; }
+
+  HostNode& host(HostId h);
+  SwitchNode& switch_at(int node_id);  // node_id must be a switch node
+  bool IsSwitchNode(int node_id) const { return IsSwitchKind(topo_.node(node_id).kind); }
+
+  int num_hosts() const { return topo_.num_hosts(); }
+
+  uint64_t NextPacketUid() { return next_uid_++; }
+
+  void AddObserver(NetworkObserver* observer) { observers_.push_back(observer); }
+
+  // Observer fan-out, called from the forwarding path.
+  void NotifyDetour(int node, uint16_t port, const Packet& p);
+  void NotifyDrop(int node, const Packet& p, DropReason reason);
+  void NotifyHostDeliver(HostId host, const Packet& p);
+
+  // Aggregate counters (also broken out per reason via observers).
+  uint64_t total_drops() const { return total_drops_; }
+  uint64_t total_detours() const { return total_detours_; }
+  uint64_t total_delivered() const { return total_delivered_; }
+
+  // All switch node ids, in topology order (for monitors).
+  const std::vector<int>& switch_ids() const { return switch_ids_; }
+
+ private:
+  std::unique_ptr<Queue> MakeSwitchQueue(SharedBufferPool* pool) const;
+
+  Simulator* sim_;
+  Topology topo_;
+  NetworkConfig config_;
+  Fib fib_;
+  std::unique_ptr<DetourPolicy> policy_;
+
+  std::vector<std::unique_ptr<Node>> nodes_;                 // indexed by topo node id
+  std::vector<std::unique_ptr<SharedBufferPool>> pools_;     // per switch when DBA on
+  std::vector<int> switch_ids_;
+  std::vector<NetworkObserver*> observers_;
+
+  uint64_t next_uid_ = 1;
+  uint64_t total_drops_ = 0;
+  uint64_t total_detours_ = 0;
+  uint64_t total_delivered_ = 0;
+};
+
+}  // namespace dibs
+
+#endif  // SRC_DEVICE_NETWORK_H_

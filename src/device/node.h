@@ -1,0 +1,40 @@
+// Base class for simulated devices (hosts and switches).
+
+#ifndef SRC_DEVICE_NODE_H_
+#define SRC_DEVICE_NODE_H_
+
+#include <cstdint>
+
+#include "src/net/packet.h"
+
+namespace dibs {
+
+class Node {
+ public:
+  explicit Node(int id) : id_(id) {}
+  virtual ~Node() = default;
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  int id() const { return id_; }
+
+  // Invoked by the peer port when a packet finishes arriving on `in_port`.
+  virtual void HandleReceive(Packet&& p, uint16_t in_port) = 0;
+
+  // Ethernet flow control (§6): a congested neighbor asks this node to pause
+  // or resume its transmitter on `port`. Default: honor it if the port
+  // exists; subclasses may also react (switches re-evaluate backpressure).
+  virtual void SetPortPaused(uint16_t port, bool paused) {}
+
+  // Invoked by one of this node's own ports right after it dequeued a packet
+  // for transmission (queue occupancy dropped). Default: no-op.
+  virtual void OnPortDequeue(uint16_t port) {}
+
+ private:
+  int id_;
+};
+
+}  // namespace dibs
+
+#endif  // SRC_DEVICE_NODE_H_

@@ -1,0 +1,38 @@
+// Observer hooks for instrumentation. The stats layer (src/stats) implements
+// this interface; the forwarding path notifies through the Network, which
+// fans out to all registered observers.
+
+#ifndef SRC_DEVICE_OBSERVER_H_
+#define SRC_DEVICE_OBSERVER_H_
+
+#include "src/net/packet.h"
+#include "src/sim/time.h"
+
+namespace dibs {
+
+enum class DropReason : uint8_t {
+  kQueueOverflow = 0,    // desired queue full, no DIBS (or policy declined)
+  kNoDetourAvailable = 1,  // DIBS active but every eligible port was full
+  kTtlExpired = 2,
+  kNoRoute = 3,
+};
+
+const char* DropReasonName(DropReason reason);
+
+class NetworkObserver {
+ public:
+  virtual ~NetworkObserver() = default;
+
+  // A switch decided to detour `p` out of `detour_port` instead of dropping.
+  virtual void OnDetour(int node, uint16_t detour_port, const Packet& p, Time at) {}
+
+  // A switch dropped `p`.
+  virtual void OnDrop(int node, const Packet& p, DropReason reason, Time at) {}
+
+  // A host received a packet addressed to it.
+  virtual void OnHostDeliver(HostId host, const Packet& p, Time at) {}
+};
+
+}  // namespace dibs
+
+#endif  // SRC_DEVICE_OBSERVER_H_

@@ -1,0 +1,47 @@
+#include "src/device/port.h"
+
+#include <utility>
+
+#include "src/util/logging.h"
+
+namespace dibs {
+
+bool Port::EnqueueAndTransmit(Packet&& p) {
+  if (!queue_->Enqueue(std::move(p))) {
+    return false;
+  }
+  MaybeTransmit();
+  return true;
+}
+
+void Port::MaybeTransmit() {
+  if (transmitting_ || paused_) {
+    return;
+  }
+  std::optional<Packet> next = queue_->Dequeue();
+  if (!next.has_value()) {
+    return;
+  }
+  DIBS_CHECK(peer_ != nullptr) << "port transmitted before Connect()";
+  owner_->OnPortDequeue(index_);
+  transmitting_ = true;
+  const Time serialization = SerializationDelay(next->size_bytes, rate_bps_);
+  bytes_sent_ += next->size_bytes;
+  ++packets_sent_;
+
+  // Transmitter frees up after serialization; the packet lands at the peer
+  // one propagation delay later. Two events so back-to-back packets pipeline
+  // onto the wire correctly.
+  sim_->Schedule(serialization, [this] {
+    transmitting_ = false;
+    MaybeTransmit();
+  });
+  Node* peer = peer_;
+  const uint16_t peer_port = peer_port_;
+  sim_->Schedule(serialization + prop_delay_,
+                 [peer, peer_port, pkt = std::move(*next)]() mutable {
+                   peer->HandleReceive(std::move(pkt), peer_port);
+                 });
+}
+
+}  // namespace dibs

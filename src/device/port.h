@@ -1,0 +1,89 @@
+// Output port: a queue plus a transmitter feeding one direction of a link.
+//
+// Each topology link becomes two Ports (one per endpoint). A port serializes
+// the packet at the link rate, then delivers it to the peer node after the
+// propagation delay. The transmitter is work-conserving: it immediately pulls
+// the next packet when serialization of the previous one completes.
+
+#ifndef SRC_DEVICE_PORT_H_
+#define SRC_DEVICE_PORT_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "src/device/node.h"
+#include "src/net/queue.h"
+#include "src/sim/simulator.h"
+
+namespace dibs {
+
+class Port {
+ public:
+  Port(Simulator* sim, Node* owner, uint16_t index, std::unique_ptr<Queue> queue,
+       int64_t rate_bps, Time prop_delay)
+      : sim_(sim),
+        owner_(owner),
+        index_(index),
+        queue_(std::move(queue)),
+        rate_bps_(rate_bps),
+        prop_delay_(prop_delay) {}
+
+  // Wires the receive side; must be called before any traffic flows.
+  void Connect(Node* peer, uint16_t peer_port, bool peer_is_switch) {
+    peer_ = peer;
+    peer_port_ = peer_port;
+    peer_is_switch_ = peer_is_switch;
+  }
+
+  // Admits `p` to the queue (caller has already checked IsFull / decided to
+  // drop) and kicks the transmitter. Returns false if the queue refused.
+  bool EnqueueAndTransmit(Packet&& p);
+
+  Queue& queue() { return *queue_; }
+  const Queue& queue() const { return *queue_; }
+
+  uint16_t index() const { return index_; }
+  Node* peer() const { return peer_; }
+  uint16_t peer_port() const { return peer_port_; }
+  bool peer_is_switch() const { return peer_is_switch_; }
+  int64_t rate_bps() const { return rate_bps_; }
+  Time prop_delay() const { return prop_delay_; }
+
+  // Ethernet flow control: while paused the transmitter holds its queue
+  // (a packet already on the wire is not recalled). Unpausing kicks the
+  // transmitter immediately.
+  void SetPaused(bool paused) {
+    paused_ = paused;
+    if (!paused_) {
+      MaybeTransmit();
+    }
+  }
+  bool paused() const { return paused_; }
+
+  // Cumulative transmit counters, sampled by LinkMonitor.
+  uint64_t bytes_sent() const { return bytes_sent_; }
+  uint64_t packets_sent() const { return packets_sent_; }
+
+ private:
+  void MaybeTransmit();
+
+  Simulator* sim_;
+  Node* owner_;
+  uint16_t index_;
+  std::unique_ptr<Queue> queue_;
+  int64_t rate_bps_;
+  Time prop_delay_;
+
+  Node* peer_ = nullptr;
+  uint16_t peer_port_ = 0;
+  bool peer_is_switch_ = false;
+
+  bool transmitting_ = false;
+  bool paused_ = false;
+  uint64_t bytes_sent_ = 0;
+  uint64_t packets_sent_ = 0;
+};
+
+}  // namespace dibs
+
+#endif  // SRC_DEVICE_PORT_H_

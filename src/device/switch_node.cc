@@ -1,0 +1,197 @@
+#include "src/device/switch_node.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/device/network.h"
+#include "src/util/logging.h"
+
+namespace dibs {
+
+void SwitchNode::HandleReceive(Packet&& p, uint16_t in_port) {
+  Network& net = *network_;
+
+  // TTL: one decrement per switch hop; bounds the total detour budget
+  // (§5.5.3). A packet arriving with ttl 1 cannot be forwarded again.
+  if (p.ttl <= 1) {
+    ++drops_;
+    net.NotifyDrop(id(), p, DropReason::kTtlExpired);
+    return;
+  }
+  --p.ttl;
+
+  const auto& route = net.fib().NextHopPorts(id(), p.dst);
+  if (route.empty()) {
+    ++drops_;
+    net.NotifyDrop(id(), p, DropReason::kNoRoute);
+    return;
+  }
+  uint16_t desired;
+  if (net.config().packet_level_ecmp && route.size() > 1) {
+    desired = route[static_cast<size_t>(
+        net.sim().rng().UniformInt(0, static_cast<int64_t>(route.size()) - 1))];
+  } else {
+    desired = net.fib().EcmpPort(id(), p.dst, p.flow);
+  }
+  Port& out = *ports_[desired];
+
+  if (!out.queue().IsFull(p)) {
+    // Probabilistic detouring (§7) may move low-priority traffic aside even
+    // before the queue fills. All other policies never fire here.
+    DetourContext ctx;
+    ctx.node = id();
+    ctx.desired_port = desired;
+    ctx.in_port = in_port;
+    ctx.desired_queue_len = out.queue().size_packets();
+    ctx.desired_queue_cap = out.queue().capacity_packets();
+    ctx.packet = &p;
+    std::vector<DetourPortInfo> snapshot;
+    if (net.detour_policy().ShouldDetourEarly(ctx, net.sim().rng())) {
+      snapshot = SnapshotPorts(p);
+      ctx.ports = &snapshot;
+      if (auto port = net.detour_policy().ChoosePort(ctx, net.sim().rng()); port.has_value()) {
+        ++detours_;
+        ++p.detour_count;
+        if (p.ect) {
+          p.ce = true;
+        }
+        net.NotifyDetour(id(), *port, p);
+        p.RecordHop(id(), net.sim().Now(), /*detoured=*/true);
+        Forward(std::move(p), *port);
+        return;
+      }
+    }
+    p.RecordHop(id(), net.sim().Now(), /*detoured=*/false);
+    Forward(std::move(p), desired);
+    return;
+  }
+
+  DetourOrDrop(std::move(p), desired, in_port);
+}
+
+void SwitchNode::DetourOrDrop(Packet&& p, uint16_t desired_port, uint16_t in_port) {
+  Network& net = *network_;
+  std::vector<DetourPortInfo> snapshot = SnapshotPorts(p);
+
+  DetourContext ctx;
+  ctx.node = id();
+  ctx.desired_port = desired_port;
+  ctx.in_port = in_port;
+  ctx.desired_queue_len = ports_[desired_port]->queue().size_packets();
+  ctx.desired_queue_cap = ports_[desired_port]->queue().capacity_packets();
+  ctx.packet = &p;
+  ctx.ports = &snapshot;
+
+  std::optional<uint16_t> port = net.detour_policy().ChoosePort(ctx, net.sim().rng());
+  if (!port.has_value()) {
+    ++drops_;
+    const bool dibs_active = snapshot.size() > 1 && net.config().detour_policy != "none";
+    net.NotifyDrop(id(), p,
+                   dibs_active ? DropReason::kNoDetourAvailable : DropReason::kQueueOverflow);
+    return;
+  }
+
+  ++detours_;
+  ++p.detour_count;
+  // Detoured packets travel a longer path through congested territory — mark
+  // them so DCTCP still sees the congestion signal (§5.3).
+  if (p.ect) {
+    p.ce = true;
+  }
+  net.NotifyDetour(id(), *port, p);
+  p.RecordHop(id(), net.sim().Now(), /*detoured=*/true);
+  Forward(std::move(p), *port);
+}
+
+void SwitchNode::Forward(Packet&& p, uint16_t out_port) {
+  ++forwarded_;
+  const bool accepted = ports_[out_port]->EnqueueAndTransmit(std::move(p));
+  if (network_->config().pfc_enabled) {
+    UpdateFlowControl();
+  }
+  // The pipeline only forwards to queues that reported room (or, for pFabric,
+  // queues that evict a lower-priority packet), so admission cannot fail for
+  // drop-tail queues. pFabric admission failure is the arriving packet losing
+  // the priority comparison — counted inside PfabricQueue.
+  if (!accepted && !network_->config().pfabric_queues) {
+    DIBS_LOG(kFatal) << "drop-tail queue refused a packet that reported room";
+  }
+}
+
+void SwitchNode::SetPortPaused(uint16_t port, bool paused) {
+  DIBS_DCHECK(port < ports_.size());
+  ports_[port]->SetPaused(paused);
+}
+
+void SwitchNode::OnPortDequeue(uint16_t port) {
+  if (network_->config().pfc_enabled) {
+    UpdateFlowControl();
+  }
+}
+
+void SwitchNode::UpdateFlowControl() {
+  const NetworkConfig& cfg = network_->config();
+  size_t deepest = 0;
+  size_t shallowest_above_xon = 0;
+  for (const auto& port : ports_) {
+    const size_t len = port->queue().size_packets();
+    deepest = std::max(deepest, len);
+    if (len > cfg.pfc_xon_packets) {
+      ++shallowest_above_xon;
+    }
+  }
+  if (!pausing_neighbors_ && deepest >= cfg.pfc_xoff_packets) {
+    pausing_neighbors_ = true;
+    ++pause_events_;
+    BroadcastPause(true);
+  } else if (pausing_neighbors_ && shallowest_above_xon == 0) {
+    pausing_neighbors_ = false;
+    BroadcastPause(false);
+  }
+}
+
+void SwitchNode::BroadcastPause(bool paused) {
+  // Pause frames are link-local control traffic: modeled out-of-band (no
+  // queueing/serialization), arriving after one propagation delay.
+  for (const auto& port : ports_) {
+    Node* peer = port->peer();
+    const uint16_t peer_port = port->peer_port();
+    network_->sim().Schedule(port->prop_delay(), [peer, peer_port, paused] {
+      peer->SetPortPaused(peer_port, paused);
+    });
+  }
+}
+
+std::vector<DetourPortInfo> SwitchNode::SnapshotPorts(const Packet& p) const {
+  std::vector<DetourPortInfo> snapshot(ports_.size());
+  for (uint16_t i = 0; i < ports_.size(); ++i) {
+    const Port& port = *ports_[i];
+    snapshot[i].port = i;
+    snapshot[i].to_switch = port.peer_is_switch();
+    snapshot[i].full = port.queue().IsFull(p);
+    snapshot[i].queue_len = port.queue().size_packets();
+    snapshot[i].queue_cap = port.queue().capacity_packets();
+  }
+  return snapshot;
+}
+
+size_t SwitchNode::buffered_packets() const {
+  size_t total = 0;
+  for (const auto& port : ports_) {
+    total += port->queue().size_packets();
+  }
+  return total;
+}
+
+size_t SwitchNode::buffer_capacity_packets() const {
+  size_t total = 0;
+  for (const auto& port : ports_) {
+    if (port->queue().capacity_packets() == 0) {
+      return 0;
+    }
+    total += port->queue().capacity_packets();
+  }
+  return total;
+}
+
+}  // namespace dibs

@@ -1,0 +1,43 @@
+#include "src/harness/config.h"
+
+namespace dibs {
+
+ExperimentConfig DctcpConfig() {
+  ExperimentConfig c;
+  c.label = "DCTCP";
+  c.net.detour_policy = "none";
+  c.tcp = TcpConfig::DctcpDefault();
+  c.transport = TransportKind::kDctcp;
+  return c;
+}
+
+ExperimentConfig DibsConfig() {
+  ExperimentConfig c;
+  c.label = "DCTCP+DIBS";
+  c.net.detour_policy = "random";
+  c.tcp = TcpConfig::DibsDefault();
+  c.transport = TransportKind::kDctcp;
+  return c;
+}
+
+ExperimentConfig InfiniteBufferConfig() {
+  ExperimentConfig c;
+  c.label = "DCTCP w/ inf";
+  c.net.detour_policy = "none";
+  c.net.switch_buffer_packets = 0;  // unbounded
+  c.tcp = TcpConfig::DctcpDefault();
+  c.transport = TransportKind::kDctcp;
+  return c;
+}
+
+ExperimentConfig PfabricExperimentConfig() {
+  ExperimentConfig c;
+  c.label = "pFabric";
+  c.net.detour_policy = "none";
+  c.net.pfabric_queues = true;
+  c.net.ecn_threshold_packets = 0;
+  c.transport = TransportKind::kPfabric;
+  return c;
+}
+
+}  // namespace dibs

@@ -1,0 +1,143 @@
+#include "src/harness/scenario.h"
+
+#include <utility>
+
+#include "src/util/logging.h"
+
+namespace dibs {
+
+Scenario::Scenario(const ExperimentConfig& config) : config_(config) {
+  sim_ = std::make_unique<Simulator>(config_.seed);
+  network_ = std::make_unique<Network>(sim_.get(), BuildTopology(), config_.net);
+  network_->AddObserver(&detour_recorder_);
+  flows_ = std::make_unique<FlowManager>(network_.get(), config_.transport, config_.tcp,
+                                         config_.pfabric);
+
+  if (config_.enable_background) {
+    BackgroundWorkload::Options opts;
+    opts.mean_interarrival = config_.bg_interarrival;
+    opts.stop_time = config_.duration;
+    // Workload streams derive from the experiment seed but stay independent
+    // of forwarding-path randomness, so scheme comparisons share workloads.
+    opts.seed = config_.seed * 0x9E3779B97F4A7C15ull + 1;
+    background_ = std::make_unique<BackgroundWorkload>(
+        network_.get(), flows_.get(), opts, WebSearchFlowSizes(),
+        [this](const FlowResult& r) { recorder_.RecordFlow(r); });
+  }
+
+  if (config_.enable_query) {
+    QueryWorkload::Options opts;
+    opts.qps = config_.qps;
+    opts.degree = config_.incast_degree;
+    opts.response_bytes = config_.response_bytes;
+    opts.stop_time = config_.duration;
+    opts.seed = config_.seed * 0x9E3779B97F4A7C15ull + 2;
+    opts.on_flow_complete = [this](const FlowResult& r) { recorder_.RecordFlow(r); };
+    query_ = std::make_unique<QueryWorkload>(
+        network_.get(), flows_.get(), opts,
+        [this](const QueryResult& r) { recorder_.RecordQuery(r); });
+  }
+
+  if (config_.monitor_links) {
+    LinkMonitor::Options opts;
+    opts.interval = config_.link_interval;
+    opts.hot_threshold = config_.hot_threshold;
+    opts.stop_time = config_.duration + config_.drain;
+    link_monitor_ = std::make_unique<LinkMonitor>(network_.get(), opts);
+  }
+  if (config_.monitor_buffers) {
+    BufferMonitor::Options opts;
+    opts.interval = config_.buffer_interval;
+    opts.stop_time = config_.duration + config_.drain;
+    buffer_monitor_ = std::make_unique<BufferMonitor>(network_.get(), std::move(opts));
+  }
+}
+
+Scenario::~Scenario() = default;
+
+Topology Scenario::BuildTopology() const {
+  switch (config_.topology) {
+    case TopologyKind::kFatTree: {
+      FatTreeOptions opts;
+      opts.k = config_.fat_tree_k;
+      opts.host_rate_bps = config_.link_rate_bps;
+      opts.oversubscription = config_.oversubscription;
+      return BuildFatTree(opts);
+    }
+    case TopologyKind::kEmulabTestbed:
+      return BuildEmulabTestbed(config_.link_rate_bps);
+    case TopologyKind::kLeafSpine: {
+      LeafSpineOptions opts;
+      opts.host_rate_bps = config_.link_rate_bps;
+      opts.fabric_rate_bps = config_.link_rate_bps;
+      return BuildLeafSpine(opts);
+    }
+    case TopologyKind::kLinear:
+      return BuildLinear(/*num_switches=*/8, /*hosts_per_switch=*/2, config_.link_rate_bps);
+    case TopologyKind::kJellyFish: {
+      JellyFishOptions opts;
+      opts.rate_bps = config_.link_rate_bps;
+      opts.seed = config_.seed;
+      return BuildJellyFish(opts);
+    }
+  }
+  DIBS_LOG(kFatal) << "unknown topology kind";
+  return Topology();
+}
+
+ScenarioResult Scenario::Run() {
+  if (background_ != nullptr) {
+    background_->Start();
+  }
+  if (query_ != nullptr) {
+    query_->Start();
+  }
+  if (link_monitor_ != nullptr) {
+    link_monitor_->Start();
+  }
+  if (buffer_monitor_ != nullptr) {
+    buffer_monitor_->Start();
+  }
+
+  sim_->RunUntil(config_.duration + config_.drain);
+
+  ScenarioResult r;
+  r.qct99_ms = recorder_.Qct99Ms();
+  r.bg_fct99_ms = recorder_.ShortBackgroundFct99Ms();
+  r.bg_fct99_all_ms = Percentile(recorder_.BackgroundFctMs(), 99);
+  r.qct = recorder_.QctSummary();
+  r.bg_fct_short = recorder_.ShortBackgroundFctSummary();
+  r.queries_completed = query_ != nullptr ? query_->queries_completed() : 0;
+  r.queries_launched = query_ != nullptr ? query_->queries_launched() : 0;
+  r.flows_completed = flows_->flows_completed();
+  r.flows_started = flows_->flows_started();
+  r.drops = network_->total_drops();
+  r.ttl_drops = detour_recorder_.drops(DropReason::kTtlExpired);
+  r.detours = network_->total_detours();
+  r.delivered_packets = detour_recorder_.delivered_packets();
+  r.detoured_fraction = detour_recorder_.DetouredFraction();
+  r.query_detour_share =
+      detour_recorder_.total_detours() == 0
+          ? 0.0
+          : static_cast<double>(detour_recorder_.query_detours()) /
+                static_cast<double>(detour_recorder_.total_detours());
+  r.retransmits = recorder_.total_retransmits();
+  r.timeouts = recorder_.total_timeouts();
+  if (link_monitor_ != nullptr) {
+    r.hot_fractions = link_monitor_->hot_fractions();
+    r.relative_hot_fractions = link_monitor_->relative_hot_fractions();
+  }
+  if (buffer_monitor_ != nullptr) {
+    r.one_hop_free = buffer_monitor_->one_hop_free_fractions();
+    r.two_hop_free = buffer_monitor_->two_hop_free_fractions();
+  }
+  r.events_processed = sim_->events_processed();
+  return r;
+}
+
+ScenarioResult RunScenario(const ExperimentConfig& config) {
+  Scenario scenario(config);
+  return scenario.Run();
+}
+
+}  // namespace dibs

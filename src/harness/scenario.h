@@ -1,0 +1,99 @@
+// ScenarioRunner: builds a full simulation from an ExperimentConfig, runs
+// it, and collects the metrics every figure reports. One call = one line on
+// one figure.
+
+#ifndef SRC_HARNESS_SCENARIO_H_
+#define SRC_HARNESS_SCENARIO_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/device/network.h"
+#include "src/harness/config.h"
+#include "src/sim/simulator.h"
+#include "src/stats/buffer_monitor.h"
+#include "src/stats/detour_recorder.h"
+#include "src/stats/flow_recorder.h"
+#include "src/stats/link_monitor.h"
+#include "src/transport/flow_manager.h"
+#include "src/util/stats_util.h"
+#include "src/workload/background.h"
+#include "src/workload/query.h"
+
+namespace dibs {
+
+struct ScenarioResult {
+  // Headline metrics (§5.3): 99th percentile QCT and short-background FCT.
+  double qct99_ms = 0;
+  double bg_fct99_ms = 0;       // 99th FCT of short (1-10KB) background flows
+  double bg_fct99_all_ms = 0;   // 99th FCT across ALL background flows
+  Summary qct;
+  Summary bg_fct_short;
+
+  uint64_t queries_completed = 0;
+  uint64_t queries_launched = 0;
+  uint64_t flows_completed = 0;
+  uint64_t flows_started = 0;
+
+  uint64_t drops = 0;
+  uint64_t ttl_drops = 0;
+  uint64_t detours = 0;
+  uint64_t delivered_packets = 0;
+  double detoured_fraction = 0;      // fraction of delivered packets detoured
+  double query_detour_share = 0;     // detours belonging to query traffic
+  uint64_t retransmits = 0;
+  uint64_t timeouts = 0;
+
+  // Monitor outputs (populated when the corresponding monitor was enabled).
+  std::vector<double> hot_fractions;
+  std::vector<double> relative_hot_fractions;
+  std::vector<double> one_hop_free;
+  std::vector<double> two_hop_free;
+
+  uint64_t events_processed = 0;
+};
+
+// Owns the whole simulation; keeps everything alive so callers can inspect
+// components after Run() (the figure-2 bench reads monitors directly).
+class Scenario {
+ public:
+  explicit Scenario(const ExperimentConfig& config);
+  ~Scenario();
+
+  Scenario(const Scenario&) = delete;
+  Scenario& operator=(const Scenario&) = delete;
+
+  // Runs to completion (duration + drain) and returns the metrics.
+  ScenarioResult Run();
+
+  Simulator& sim() { return *sim_; }
+  Network& network() { return *network_; }
+  FlowManager& flows() { return *flows_; }
+  FlowRecorder& recorder() { return recorder_; }
+  DetourRecorder& detours() { return detour_recorder_; }
+  LinkMonitor* link_monitor() { return link_monitor_.get(); }
+  BufferMonitor* buffer_monitor() { return buffer_monitor_.get(); }
+  QueryWorkload* query_workload() { return query_.get(); }
+  const ExperimentConfig& config() const { return config_; }
+
+ private:
+  Topology BuildTopology() const;
+
+  ExperimentConfig config_;
+  std::unique_ptr<Simulator> sim_;
+  std::unique_ptr<Network> network_;
+  std::unique_ptr<FlowManager> flows_;
+  FlowRecorder recorder_;
+  DetourRecorder detour_recorder_;
+  std::unique_ptr<BackgroundWorkload> background_;
+  std::unique_ptr<QueryWorkload> query_;
+  std::unique_ptr<LinkMonitor> link_monitor_;
+  std::unique_ptr<BufferMonitor> buffer_monitor_;
+};
+
+// Convenience: build, run, return.
+ScenarioResult RunScenario(const ExperimentConfig& config);
+
+}  // namespace dibs
+
+#endif  // SRC_HARNESS_SCENARIO_H_

@@ -1,0 +1,38 @@
+// Fixed-width table printing for the figure benches: every bench prints the
+// same rows/series its figure plots, in a form that is easy to eyeball and
+// to paste into a plotting tool.
+
+#ifndef SRC_HARNESS_TABLE_H_
+#define SRC_HARNESS_TABLE_H_
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+namespace dibs {
+
+class TablePrinter {
+ public:
+  // `widths[i]` is the printed width of column i; 0 means "fit the header".
+  TablePrinter(std::vector<std::string> headers, std::vector<int> widths = {});
+
+  void PrintHeader(std::ostream& os = std::cout) const;
+  void PrintRow(const std::vector<std::string>& cells, std::ostream& os = std::cout) const;
+  void PrintSeparator(std::ostream& os = std::cout) const;
+
+  // Formats a double with `digits` decimals.
+  static std::string Num(double value, int digits = 2);
+  static std::string Int(uint64_t value);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<int> widths_;
+};
+
+// Prints a figure banner: id, caption, and the fixed parameters.
+void PrintFigureBanner(const std::string& figure_id, const std::string& caption,
+                       const std::string& parameters, std::ostream& os = std::cout);
+
+}  // namespace dibs
+
+#endif  // SRC_HARNESS_TABLE_H_

@@ -1,0 +1,30 @@
+#include "src/hw/click.h"
+
+namespace dibs {
+namespace click {
+
+ClickRouter::ClickRouter(Options options) {
+  DIBS_CHECK_GT(options.num_ports, 0);
+  DIBS_CHECK(options.route != nullptr);
+  if (options.switch_facing.empty()) {
+    options.switch_facing.assign(static_cast<size_t>(options.num_ports), true);
+  }
+  DIBS_CHECK_EQ(options.switch_facing.size(), static_cast<size_t>(options.num_ports));
+
+  std::vector<QueueElement*> raw_queues;
+  for (int i = 0; i < options.num_ports; ++i) {
+    queues_.push_back(std::make_unique<QueueElement>(options.queue_capacity));
+    raw_queues.push_back(queues_.back().get());
+  }
+  detour_ = std::make_unique<DetourElement>(raw_queues, options.switch_facing,
+                                            options.dibs_enabled, options.seed);
+  lookup_ = std::make_unique<LookupElement>(options.num_ports, std::move(options.route));
+
+  for (int i = 0; i < options.num_ports; ++i) {
+    lookup_->ConnectOutput(i, detour_.get(), i);
+    detour_->ConnectOutput(i, queues_[static_cast<size_t>(i)].get(), 0);
+  }
+}
+
+}  // namespace click
+}  // namespace dibs

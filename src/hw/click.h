@@ -1,0 +1,212 @@
+// Click modular-router model of the DIBS software switch (§5.2).
+//
+// The paper's testbed switch is a Click configuration: forwarding-table
+// lookup, then a ~50-line "detour element" that checks whether the chosen
+// output queue is full and, if so, re-aims the packet at a random other
+// output queue. This file reproduces that element graph with a small
+// push-based element framework: Lookup -> DetourElement -> per-port Queues.
+// Element wiring follows Click conventions (an element output port connects
+// to exactly one downstream input port).
+
+#ifndef SRC_HW_CLICK_H_
+#define SRC_HW_CLICK_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/net/packet.h"
+#include "src/util/logging.h"
+#include "src/util/rng.h"
+
+namespace dibs {
+namespace click {
+
+class Element {
+ public:
+  explicit Element(int num_inputs, int num_outputs)
+      : num_inputs_(num_inputs), outputs_(static_cast<size_t>(num_outputs)) {}
+  virtual ~Element() = default;
+
+  virtual std::string class_name() const = 0;
+
+  // Receives a packet on input `port`.
+  virtual void Push(int port, Packet&& p) = 0;
+
+  // Wires output `out` of this element to input `in` of `downstream`.
+  void ConnectOutput(int out, Element* downstream, int in) {
+    DIBS_CHECK(out >= 0 && out < num_outputs());
+    outputs_[static_cast<size_t>(out)] = Hook{downstream, in};
+  }
+
+  int num_inputs() const { return num_inputs_; }
+  int num_outputs() const { return static_cast<int>(outputs_.size()); }
+
+ protected:
+  void Output(int out, Packet&& p) {
+    const Hook& hook = outputs_[static_cast<size_t>(out)];
+    DIBS_CHECK(hook.element != nullptr) << class_name() << " output " << out << " unwired";
+    hook.element->Push(hook.port, std::move(p));
+  }
+
+ private:
+  struct Hook {
+    Element* element = nullptr;
+    int port = 0;
+  };
+  int num_inputs_;
+  std::vector<Hook> outputs_;
+};
+
+// Bounded FIFO output queue (Click's Queue element). Push-in, pull-out.
+class QueueElement : public Element {
+ public:
+  explicit QueueElement(size_t capacity) : Element(1, 0), capacity_(capacity) {}
+
+  std::string class_name() const override { return "Queue"; }
+
+  void Push(int port, Packet&& p) override {
+    if (full()) {
+      ++drops_;
+      return;
+    }
+    packets_.push_back(std::move(p));
+  }
+
+  std::optional<Packet> Pull() {
+    if (packets_.empty()) {
+      return std::nullopt;
+    }
+    Packet p = std::move(packets_.front());
+    packets_.pop_front();
+    return p;
+  }
+
+  bool full() const { return capacity_ != 0 && packets_.size() >= capacity_; }
+  size_t size() const { return packets_.size(); }
+  uint64_t drops() const { return drops_; }
+
+ private:
+  size_t capacity_;
+  std::deque<Packet> packets_;
+  uint64_t drops_ = 0;
+};
+
+// Forwarding-table lookup: maps the packet's destination host to an output
+// (one output per router port).
+class LookupElement : public Element {
+ public:
+  using RouteFn = std::function<int(HostId)>;  // dst -> port
+
+  LookupElement(int num_ports, RouteFn route)
+      : Element(1, num_ports), route_(std::move(route)) {}
+
+  std::string class_name() const override { return "Lookup"; }
+
+  void Push(int port, Packet&& p) override {
+    const int out = route_(p.dst);
+    DIBS_CHECK(out >= 0 && out < num_outputs()) << "bad route for host " << p.dst;
+    Output(out, std::move(p));
+  }
+
+ private:
+  RouteFn route_;
+};
+
+// The paper's detour element: input i means "this packet wants queue i".
+// If queue i has room, pass through to output i; otherwise pick a random
+// switch-facing queue with room, or drop when none exists.
+class DetourElement : public Element {
+ public:
+  // `queues[i]` must be the queue wired to output i. `switch_facing[i]`
+  // marks detour-eligible ports. `enabled=false` gives the droptail baseline.
+  DetourElement(std::vector<QueueElement*> queues, std::vector<bool> switch_facing,
+                bool enabled, uint64_t seed = 7)
+      : Element(static_cast<int>(queues.size()), static_cast<int>(queues.size())),
+        queues_(std::move(queues)),
+        switch_facing_(std::move(switch_facing)),
+        enabled_(enabled),
+        rng_(seed) {
+    DIBS_CHECK_EQ(queues_.size(), switch_facing_.size());
+  }
+
+  std::string class_name() const override { return "DIBSDetour"; }
+
+  void Push(int port, Packet&& p) override {
+    if (!queues_[static_cast<size_t>(port)]->full()) {
+      Output(port, std::move(p));
+      return;
+    }
+    if (!enabled_) {
+      ++drops_;
+      return;
+    }
+    std::vector<int> candidates;
+    for (int i = 0; i < num_outputs(); ++i) {
+      if (i == port || !switch_facing_[static_cast<size_t>(i)]) {
+        continue;
+      }
+      if (!queues_[static_cast<size_t>(i)]->full()) {
+        candidates.push_back(i);
+      }
+    }
+    if (candidates.empty()) {
+      ++drops_;
+      return;
+    }
+    const auto pick =
+        static_cast<size_t>(rng_.UniformInt(0, static_cast<int64_t>(candidates.size()) - 1));
+    ++detours_;
+    ++p.detour_count;
+    Output(candidates[pick], std::move(p));
+  }
+
+  uint64_t detours() const { return detours_; }
+  uint64_t drops() const { return drops_; }
+
+ private:
+  std::vector<QueueElement*> queues_;
+  std::vector<bool> switch_facing_;
+  bool enabled_;
+  Rng rng_;
+  uint64_t detours_ = 0;
+  uint64_t drops_ = 0;
+};
+
+// A complete software router: Lookup -> DetourElement -> Queues, one queue
+// per port. Push packets in with HandlePacket; drain with PullFrom.
+class ClickRouter {
+ public:
+  struct Options {
+    int num_ports = 4;
+    size_t queue_capacity = 100;
+    std::vector<bool> switch_facing;  // defaults to all-true when empty
+    bool dibs_enabled = true;
+    LookupElement::RouteFn route;
+    uint64_t seed = 7;
+  };
+
+  explicit ClickRouter(Options options);
+
+  void HandlePacket(Packet&& p) { lookup_->Push(0, std::move(p)); }
+  std::optional<Packet> PullFrom(int port) {
+    return queues_[static_cast<size_t>(port)]->Pull();
+  }
+
+  const QueueElement& queue(int port) const { return *queues_[static_cast<size_t>(port)]; }
+  const DetourElement& detour() const { return *detour_; }
+
+ private:
+  std::vector<std::unique_ptr<QueueElement>> queues_;
+  std::unique_ptr<DetourElement> detour_;
+  std::unique_ptr<LookupElement> lookup_;
+};
+
+}  // namespace click
+}  // namespace dibs
+
+#endif  // SRC_HW_CLICK_H_

@@ -1,0 +1,59 @@
+#include "src/hw/netfpga.h"
+
+namespace dibs {
+namespace netfpga {
+
+uint8_t NthSetBit(PortBitmap bitmap, uint8_t n) {
+  DIBS_DCHECK(n < CountPorts(bitmap));
+  for (uint8_t skipped = 0;; ++skipped) {
+    const uint8_t bit = LowestSetBit(bitmap);
+    if (skipped == n) {
+      return bit;
+    }
+    bitmap &= bitmap - 1;  // clear lowest set bit
+  }
+}
+
+uint16_t OutputPortLookup::StepLfsr() {
+  // 16-bit Fibonacci LFSR, taps 16,14,13,11 (maximal length).
+  const uint16_t bit =
+      ((lfsr_ >> 0) ^ (lfsr_ >> 2) ^ (lfsr_ >> 3) ^ (lfsr_ >> 5)) & 1u;
+  lfsr_ = static_cast<uint16_t>((lfsr_ >> 1) | (bit << 15));
+  return lfsr_;
+}
+
+LookupResult OutputPortLookup::DecideWithoutDibs(PortBitmap fib, PortBitmap available) const {
+  LookupResult r;
+  const PortBitmap usable = fib & available;
+  if (usable == 0) {
+    r.drop = true;
+    return r;
+  }
+  r.port = LowestSetBit(usable);
+  return r;
+}
+
+LookupResult OutputPortLookup::Decide(PortBitmap fib, PortBitmap available) {
+  LookupResult r;
+  // Stage 1 (reference pipeline): desired AND available.
+  const PortBitmap usable = fib & available;
+  if (usable != 0) {
+    r.port = LowestSetBit(usable);
+    return r;
+  }
+  // Stage 2 (the DIBS addition, same cycle): candidates are available
+  // switch-facing ports outside the forwarding entry.
+  const PortBitmap candidates = available & switch_facing_ & ~fib;
+  if (candidates == 0) {
+    r.drop = true;
+    return r;
+  }
+  const uint8_t count = CountPorts(candidates);
+  const uint8_t pick = static_cast<uint8_t>(StepLfsr() % count);
+  r.port = NthSetBit(candidates, pick);
+  r.detoured = true;
+  return r;
+}
+
+}  // namespace netfpga
+}  // namespace dibs

@@ -1,0 +1,79 @@
+// Cycle-level model of the NetFPGA DIBS implementation (§5.1).
+//
+// The paper adds DIBS to the reference NetFPGA switch's Output Port Lookup
+// stage: the lookup module receives a bitmap of ports whose output queues
+// are not full, ANDs it with the forwarding entry's desired-port bitmap, and
+// either forwards normally or — when the AND is zero — detours out of an
+// available switch-facing port, all combinationally within one clock cycle
+// (~50 lines of Verilog, 2 slices / 10 flip-flops / 3 LUTs).
+//
+// This model reproduces the decision function bit-for-bit: bitmap AND,
+// priority-encoded port select, and a 16-bit Fibonacci LFSR standing in for
+// the hardware's pseudo-random detour pick. It is pure combinational logic +
+// one register (the LFSR), so a software call maps to one "cycle".
+
+#ifndef SRC_HW_NETFPGA_H_
+#define SRC_HW_NETFPGA_H_
+
+#include <cstdint>
+
+#include "src/util/logging.h"
+
+namespace dibs {
+namespace netfpga {
+
+using PortBitmap = uint32_t;  // bit i = port i; supports up to 32 ports
+
+struct LookupResult {
+  bool drop = false;
+  bool detoured = false;
+  uint8_t port = 0;  // valid when !drop
+};
+
+class OutputPortLookup {
+ public:
+  // `switch_facing`: ports wired to other switches (eligible detour targets).
+  // `num_ports`: total ports on the device.
+  OutputPortLookup(PortBitmap switch_facing, uint8_t num_ports, uint16_t lfsr_seed = 0xACE1)
+      : switch_facing_(switch_facing), num_ports_(num_ports), lfsr_(lfsr_seed) {
+    DIBS_CHECK_GT(num_ports, 0);
+    DIBS_CHECK_LE(num_ports, 32);
+    DIBS_CHECK_NE(lfsr_seed, 0);  // an all-zero LFSR never advances
+  }
+
+  // One forwarding decision: `fib` = desired output ports from the lookup
+  // table entry, `available` = ports whose queues can accept the packet.
+  LookupResult Decide(PortBitmap fib, PortBitmap available);
+
+  // The same decision with DIBS disabled (reference switch): drop when the
+  // desired ports are all full.
+  LookupResult DecideWithoutDibs(PortBitmap fib, PortBitmap available) const;
+
+  uint16_t lfsr_state() const { return lfsr_; }
+
+ private:
+  uint16_t StepLfsr();
+
+  PortBitmap switch_facing_;
+  uint8_t num_ports_;
+  uint16_t lfsr_;
+};
+
+// Priority encoder: index of the lowest set bit (bitmap must be nonzero).
+inline uint8_t LowestSetBit(PortBitmap bitmap) {
+  DIBS_DCHECK(bitmap != 0);
+  return static_cast<uint8_t>(__builtin_ctz(bitmap));
+}
+
+// Population count, as the hardware's ones-counter.
+inline uint8_t CountPorts(PortBitmap bitmap) {
+  return static_cast<uint8_t>(__builtin_popcount(bitmap));
+}
+
+// Index of the n-th (0-based) set bit. Requires n < popcount(bitmap).
+uint8_t NthSetBit(PortBitmap bitmap, uint8_t n);
+
+}  // namespace netfpga
+}  // namespace dibs
+
+#endif  // SRC_HW_NETFPGA_H_

@@ -1,0 +1,96 @@
+// Packet model.
+//
+// Packets are metadata-only value types: the simulator never materializes
+// payload bytes, only sizes. A packet carries just enough header state for
+// the mechanisms under study — flat L2-style host addressing with a FIB (per
+// the paper's data-center setting, §3), ECN codepoints for DCTCP, a TTL that
+// bounds DIBS detours (§5.5.3), and a priority field for pFabric (§5.8).
+//
+// For Figure 1 style analysis a packet can carry an optional shared path
+// trace that records every (node, time, detoured?) hop; it is only allocated
+// when tracing is requested, so the common path stays cheap.
+
+#ifndef SRC_NET_PACKET_H_
+#define SRC_NET_PACKET_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/sim/time.h"
+
+namespace dibs {
+
+// Identifies a host (end station). Switches are not addressable endpoints.
+using HostId = int32_t;
+inline constexpr HostId kInvalidHost = -1;
+
+// Identifies a transport flow. ACKs carry the same flow id as their data.
+using FlowId = uint64_t;
+
+// Traffic classes used by the workload generators and the stats layer.
+enum class TrafficClass : uint8_t {
+  kBackground = 0,  // flows drawn from the empirical size distribution
+  kQuery = 1,       // partition/aggregate (incast) responses
+  kLongLived = 2,   // fairness-experiment bulk flows
+};
+
+// One hop in an optional per-packet path trace (Figure 1).
+struct PathHop {
+  int32_t node = -1;  // Network node id
+  Time at;
+  bool detoured = false;  // true if this node detoured the packet
+};
+
+struct Packet {
+  uint64_t uid = 0;  // globally unique per packet instance (retransmits get new uids)
+
+  HostId src = kInvalidHost;
+  HostId dst = kInvalidHost;
+  uint32_t size_bytes = 0;
+  uint8_t ttl = 255;
+
+  // ECN codepoints: ect = ECN-capable transport, ce = congestion experienced.
+  bool ect = false;
+  bool ce = false;
+
+  FlowId flow = 0;
+  TrafficClass traffic_class = TrafficClass::kBackground;
+
+  // Transport header (segment granularity).
+  bool is_ack = false;
+  uint32_t seq = 0;      // data: segment index within the flow
+  uint32_t ack_seq = 0;  // ack: cumulative ack (next expected segment)
+  bool ece = false;      // ack: ECN-echo of a received CE mark
+  bool fin = false;      // data: last segment of the flow
+
+  // pFabric scheduling priority: remaining flow bytes at send time.
+  // Lower value = higher priority. Ignored by FIFO queues.
+  int64_t priority = 0;
+
+  // Number of times any switch detoured this packet (for detour histograms).
+  uint16_t detour_count = 0;
+
+  Time sent_time;  // stamped by the sending host
+
+  // Optional Figure-1 trace; shared_ptr so copies (which do not happen on the
+  // forwarding path — packets are moved) stay consistent.
+  std::shared_ptr<std::vector<PathHop>> trace;
+
+  // Appends a hop if tracing is enabled for this packet.
+  void RecordHop(int32_t node, Time at, bool detoured) {
+    if (trace != nullptr) {
+      trace->push_back(PathHop{node, at, detoured});
+    }
+  }
+};
+
+// Default Ethernet-ish sizes used by the transports.
+inline constexpr uint32_t kMtuBytes = 1500;
+inline constexpr uint32_t kHeaderBytes = 40;  // simulated TCP/IP header overhead
+inline constexpr uint32_t kMaxSegmentBytes = kMtuBytes - kHeaderBytes;
+inline constexpr uint32_t kAckBytes = kHeaderBytes;
+
+}  // namespace dibs
+
+#endif  // SRC_NET_PACKET_H_

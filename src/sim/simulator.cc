@@ -1,0 +1,76 @@
+#include "src/sim/simulator.h"
+
+#include <utility>
+
+#include "src/util/logging.h"
+
+namespace dibs {
+
+EventId Simulator::Schedule(Time delay, std::function<void()> fn) {
+  DIBS_DCHECK(delay >= Time::Zero());
+  if (delay < Time::Zero()) {
+    delay = Time::Zero();
+  }
+  return ScheduleAt(now_ + delay, std::move(fn));
+}
+
+EventId Simulator::ScheduleAt(Time when, std::function<void()> fn) {
+  DIBS_CHECK(when >= now_) << "scheduling into the past: " << when << " < " << now_;
+  const EventId id = next_id_++;
+  queue_.push(Event{when, id, std::move(fn)});
+  return id;
+}
+
+void Simulator::Cancel(EventId id) {
+  if (id == kInvalidEventId) {
+    return;
+  }
+  cancelled_.insert(id);
+}
+
+bool Simulator::RunOneEvent() {
+  while (!queue_.empty()) {
+    // priority_queue::top() is const; the closure must be moved out before
+    // running because the event may schedule more events (mutating the heap).
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    if (auto it = cancelled_.find(ev.id); it != cancelled_.end()) {
+      cancelled_.erase(it);
+      continue;
+    }
+    DIBS_DCHECK(ev.when >= now_);
+    now_ = ev.when;
+    ++events_processed_;
+    ev.fn();
+    return true;
+  }
+  return false;
+}
+
+void Simulator::Run() {
+  stopped_ = false;
+  while (!stopped_ && RunOneEvent()) {
+  }
+}
+
+void Simulator::RunUntil(Time until) {
+  DIBS_CHECK(until >= now_);
+  stopped_ = false;
+  while (!stopped_ && !queue_.empty()) {
+    // Peek through cancelled entries without running live ones early.
+    if (cancelled_.count(queue_.top().id) > 0) {
+      cancelled_.erase(queue_.top().id);
+      queue_.pop();
+      continue;
+    }
+    if (queue_.top().when > until) {
+      break;
+    }
+    RunOneEvent();
+  }
+  if (!stopped_ && now_ < until) {
+    now_ = until;
+  }
+}
+
+}  // namespace dibs

@@ -1,0 +1,95 @@
+// Deterministic single-threaded discrete-event simulator.
+//
+// Events are (time, sequence, closure) triples ordered by time with FIFO
+// tie-breaking on the insertion sequence number, so two runs with identical
+// inputs execute events in exactly the same order. All simulation randomness
+// is drawn from the simulator-owned Rng, making runs reproducible from the
+// seed alone.
+
+#ifndef SRC_SIM_SIMULATOR_H_
+#define SRC_SIM_SIMULATOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "src/sim/time.h"
+#include "src/util/rng.h"
+
+namespace dibs {
+
+// Handle for a scheduled event, usable with Cancel(). Id 0 is never issued.
+using EventId = uint64_t;
+inline constexpr EventId kInvalidEventId = 0;
+
+class Simulator {
+ public:
+  explicit Simulator(uint64_t seed = 1) : rng_(seed) {}
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  // Current simulation time. Only advances inside Run*().
+  Time Now() const { return now_; }
+
+  // Schedules `fn` to run `delay` from now. Negative delays are clamped to 0
+  // in release builds and assert in debug builds.
+  EventId Schedule(Time delay, std::function<void()> fn);
+
+  // Schedules `fn` at absolute time `when` (must be >= Now()).
+  EventId ScheduleAt(Time when, std::function<void()> fn);
+
+  // Cancels a pending event. Cancelling an already-fired or invalid id is a
+  // no-op, which keeps timer bookkeeping in callers simple.
+  void Cancel(EventId id);
+
+  // Runs until the event queue drains or Stop() is called.
+  void Run();
+
+  // Runs every event with timestamp <= `until`, then sets Now() == `until`.
+  void RunUntil(Time until);
+
+  // Convenience: RunUntil(Now() + duration).
+  void RunFor(Time duration) { RunUntil(now_ + duration); }
+
+  // Makes Run*() return after the current event completes.
+  void Stop() { stopped_ = true; }
+
+  Rng& rng() { return rng_; }
+
+  uint64_t events_processed() const { return events_processed_; }
+  size_t pending_events() const { return queue_.size() - cancelled_.size(); }
+
+ private:
+  struct Event {
+    Time when;
+    EventId id;
+    std::function<void()> fn;
+  };
+
+  struct EventLater {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) {
+        return a.when > b.when;
+      }
+      return a.id > b.id;  // earlier-scheduled events fire first on ties
+    }
+  };
+
+  // Pops and runs the earliest event. Returns false when the queue is empty.
+  bool RunOneEvent();
+
+  Time now_;
+  EventId next_id_ = 1;
+  uint64_t events_processed_ = 0;
+  bool stopped_ = false;
+  std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
+  std::unordered_set<EventId> cancelled_;
+  Rng rng_;
+};
+
+}  // namespace dibs
+
+#endif  // SRC_SIM_SIMULATOR_H_

@@ -1,0 +1,31 @@
+#include "src/sim/time.h"
+
+#include "src/util/logging.h"
+
+namespace dibs {
+
+std::ostream& operator<<(std::ostream& os, Time t) {
+  const int64_t ns = t.nanos();
+  if (ns >= 1000000000 || ns <= -1000000000) {
+    return os << t.ToSeconds() << "s";
+  }
+  if (ns >= 1000000 || ns <= -1000000) {
+    return os << t.ToMillis() << "ms";
+  }
+  if (ns >= 1000 || ns <= -1000) {
+    return os << t.ToMicros() << "us";
+  }
+  return os << ns << "ns";
+}
+
+Time SerializationDelay(int64_t bytes, int64_t bits_per_second) {
+  DIBS_CHECK_GT(bits_per_second, 0);
+  DIBS_CHECK_GE(bytes, 0);
+  // ns = bits * 1e9 / rate, computed with 128-bit intermediate to avoid
+  // overflow for jumbo transfers on slow links.
+  const __int128 bits = static_cast<__int128>(bytes) * 8;
+  const __int128 ns = (bits * 1000000000 + bits_per_second / 2) / bits_per_second;
+  return Time::Nanos(static_cast<int64_t>(ns));
+}
+
+}  // namespace dibs

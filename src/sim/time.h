@@ -1,0 +1,67 @@
+// Simulation time as a strongly typed int64 nanosecond count.
+//
+// Integer nanoseconds give exact, platform-independent arithmetic (no
+// floating-point drift in event ordering) with ±292 years of range — far more
+// than any data-center simulation needs. All rate/size conversions round to
+// the nearest nanosecond.
+
+#ifndef SRC_SIM_TIME_H_
+#define SRC_SIM_TIME_H_
+
+#include <compare>
+#include <cstdint>
+#include <ostream>
+
+namespace dibs {
+
+class Time {
+ public:
+  constexpr Time() : ns_(0) {}
+
+  static constexpr Time Zero() { return Time(0); }
+  static constexpr Time Max() { return Time(INT64_MAX); }
+  static constexpr Time Nanos(int64_t ns) { return Time(ns); }
+  static constexpr Time Micros(int64_t us) { return Time(us * 1000); }
+  static constexpr Time Millis(int64_t ms) { return Time(ms * 1000000); }
+  static constexpr Time Seconds(int64_t s) { return Time(s * 1000000000); }
+  static Time FromSeconds(double s) { return Time(static_cast<int64_t>(s * 1e9 + 0.5)); }
+
+  constexpr int64_t nanos() const { return ns_; }
+  constexpr double ToMicros() const { return static_cast<double>(ns_) / 1e3; }
+  constexpr double ToMillis() const { return static_cast<double>(ns_) / 1e6; }
+  constexpr double ToSeconds() const { return static_cast<double>(ns_) / 1e9; }
+
+  constexpr bool IsZero() const { return ns_ == 0; }
+
+  friend constexpr Time operator+(Time a, Time b) { return Time(a.ns_ + b.ns_); }
+  friend constexpr Time operator-(Time a, Time b) { return Time(a.ns_ - b.ns_); }
+  friend constexpr Time operator*(Time a, int64_t k) { return Time(a.ns_ * k); }
+  friend constexpr Time operator*(int64_t k, Time a) { return Time(a.ns_ * k); }
+  friend constexpr Time operator/(Time a, int64_t k) { return Time(a.ns_ / k); }
+  friend constexpr int64_t operator/(Time a, Time b) { return a.ns_ / b.ns_; }
+
+  Time& operator+=(Time other) {
+    ns_ += other.ns_;
+    return *this;
+  }
+  Time& operator-=(Time other) {
+    ns_ -= other.ns_;
+    return *this;
+  }
+
+  friend constexpr auto operator<=>(Time a, Time b) = default;
+
+  friend std::ostream& operator<<(std::ostream& os, Time t);
+
+ private:
+  explicit constexpr Time(int64_t ns) : ns_(ns) {}
+
+  int64_t ns_;
+};
+
+// Time to serialize `bytes` onto a link of `bits_per_second`.
+Time SerializationDelay(int64_t bytes, int64_t bits_per_second);
+
+}  // namespace dibs
+
+#endif  // SRC_SIM_TIME_H_

@@ -1,0 +1,90 @@
+#include "src/stats/buffer_monitor.h"
+
+#include "src/device/switch_node.h"
+#include "src/util/logging.h"
+
+namespace dibs {
+
+BufferMonitor::BufferMonitor(Network* network, Options options)
+    : network_(network), options_(std::move(options)) {
+  DIBS_CHECK(options_.interval > Time::Zero());
+  for (int sw : network_->switch_ids()) {
+    one_hop_[sw] = network_->topology().SwitchNeighborhood(sw, 1);
+    two_hop_[sw] = network_->topology().SwitchNeighborhood(sw, 2);
+  }
+}
+
+void BufferMonitor::Start() {
+  network_->sim().Schedule(options_.interval, [this] { Sample(); });
+}
+
+double BufferMonitor::FreeFraction(const std::vector<int>& switches) const {
+  size_t capacity = 0;
+  size_t used = 0;
+  for (int sw : switches) {
+    const SwitchNode& node = network_->switch_at(sw);
+    const size_t cap = node.buffer_capacity_packets();
+    if (cap == 0) {
+      continue;  // unbounded queues have no meaningful "free fraction"
+    }
+    capacity += cap;
+    used += node.buffered_packets();
+  }
+  if (capacity == 0) {
+    return 1.0;
+  }
+  return 1.0 - static_cast<double>(used) / static_cast<double>(capacity);
+}
+
+void BufferMonitor::Sample() {
+  ++total_samples_;
+
+  // Figure 2b snapshots.
+  if (!options_.snapshot_switches.empty()) {
+    Snapshot snap;
+    snap.at = network_->sim().Now();
+    for (int sw : options_.snapshot_switches) {
+      SwitchNode& node = network_->switch_at(sw);
+      std::vector<size_t> lengths(node.num_ports());
+      for (uint16_t i = 0; i < node.num_ports(); ++i) {
+        lengths[i] = node.port(i).queue().size_packets();
+      }
+      snap.queue_lengths.push_back(std::move(lengths));
+    }
+    snapshots_.push_back(std::move(snap));
+  }
+
+  // Figure 5: neighborhood free-buffer fractions around congested switches.
+  bool any_congested = false;
+  for (int sw : network_->switch_ids()) {
+    SwitchNode& node = network_->switch_at(sw);
+    bool congested = false;
+    for (uint16_t i = 0; i < node.num_ports(); ++i) {
+      const auto& queue = node.port(i).queue();
+      if (queue.capacity_packets() == 0) {
+        continue;
+      }
+      const double occ = static_cast<double>(queue.size_packets()) /
+                         static_cast<double>(queue.capacity_packets());
+      if (occ >= options_.congested_fraction) {
+        congested = true;
+        break;
+      }
+    }
+    if (!congested) {
+      continue;
+    }
+    any_congested = true;
+    one_hop_free_.push_back(FreeFraction(one_hop_[sw]));
+    two_hop_free_.push_back(FreeFraction(two_hop_[sw]));
+  }
+  if (any_congested) {
+    ++congested_samples_;
+  }
+
+  if (network_->sim().Now() + options_.interval <= options_.stop_time) {
+    network_->sim().Schedule(options_.interval, [this] { Sample(); });
+  }
+}
+
+}  // namespace dibs

@@ -1,0 +1,69 @@
+// Periodic buffer-occupancy sampler.
+//
+// Serves two figures:
+//  * Figure 2b: per-port queue-length snapshots for a chosen set of switches
+//    (the congested pod) over time.
+//  * Figure 5: whenever some switch is congested (any output queue at or
+//    above `congested_fraction` of capacity), record the fraction of buffer
+//    space still free across its 1-hop and 2-hop switch neighborhoods.
+
+#ifndef SRC_STATS_BUFFER_MONITOR_H_
+#define SRC_STATS_BUFFER_MONITOR_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/device/network.h"
+#include "src/sim/simulator.h"
+
+namespace dibs {
+
+class BufferMonitor {
+ public:
+  struct Options {
+    Time interval = Time::Millis(1);
+    double congested_fraction = 0.9;
+    std::vector<int> snapshot_switches;  // Figure 2b subjects (may be empty)
+    Time stop_time = Time::Max();
+  };
+
+  struct Snapshot {
+    Time at;
+    std::vector<std::vector<size_t>> queue_lengths;  // [snapshot switch][port]
+  };
+
+  BufferMonitor(Network* network, Options options);
+
+  void Start();
+
+  // Figure 5 samples: per (sample, congested switch), fraction of neighbor
+  // buffer slots that are free, at radius 1 and radius 2.
+  const std::vector<double>& one_hop_free_fractions() const { return one_hop_free_; }
+  const std::vector<double>& two_hop_free_fractions() const { return two_hop_free_; }
+
+  const std::vector<Snapshot>& snapshots() const { return snapshots_; }
+
+  uint64_t congested_samples() const { return congested_samples_; }
+  uint64_t total_samples() const { return total_samples_; }
+
+ private:
+  void Sample();
+  double FreeFraction(const std::vector<int>& switches) const;
+
+  Network* network_;
+  Options options_;
+  // Precomputed switch neighborhoods.
+  std::unordered_map<int, std::vector<int>> one_hop_;
+  std::unordered_map<int, std::vector<int>> two_hop_;
+
+  std::vector<double> one_hop_free_;
+  std::vector<double> two_hop_free_;
+  std::vector<Snapshot> snapshots_;
+  uint64_t congested_samples_ = 0;
+  uint64_t total_samples_ = 0;
+};
+
+}  // namespace dibs
+
+#endif  // SRC_STATS_BUFFER_MONITOR_H_

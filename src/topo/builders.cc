@@ -1,0 +1,226 @@
+#include "src/topo/builders.h"
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace dibs {
+namespace {
+
+std::string Name(const char* prefix, int i) { return std::string(prefix) + std::to_string(i); }
+
+std::string Name(const char* prefix, int i, int j) {
+  return std::string(prefix) + std::to_string(i) + "_" + std::to_string(j);
+}
+
+}  // namespace
+
+Topology BuildFatTree(const FatTreeOptions& options) {
+  const int k = options.k;
+  DIBS_CHECK(k >= 2 && k % 2 == 0) << "fat-tree K must be even";
+  DIBS_CHECK_GE(options.oversubscription, 1.0);
+  const int half = k / 2;
+  const auto fabric_rate =
+      static_cast<int64_t>(static_cast<double>(options.host_rate_bps) / options.oversubscription);
+
+  Topology topo;
+
+  // Core layer: (k/2)^2 switches, conceptually arranged in k/2 groups of k/2.
+  std::vector<int> core(static_cast<size_t>(half * half));
+  for (int i = 0; i < half * half; ++i) {
+    core[static_cast<size_t>(i)] = topo.AddNode(NodeKind::kCore, Name("core", i));
+  }
+
+  for (int pod = 0; pod < k; ++pod) {
+    std::vector<int> aggr(static_cast<size_t>(half));
+    std::vector<int> edge(static_cast<size_t>(half));
+    for (int a = 0; a < half; ++a) {
+      aggr[static_cast<size_t>(a)] =
+          topo.AddNode(NodeKind::kAggregation, Name("aggr", pod, a), pod);
+    }
+    for (int e = 0; e < half; ++e) {
+      edge[static_cast<size_t>(e)] = topo.AddNode(NodeKind::kEdge, Name("edge", pod, e), pod);
+    }
+    // Edge <-> aggregation full bipartite within the pod.
+    for (int e = 0; e < half; ++e) {
+      for (int a = 0; a < half; ++a) {
+        topo.AddLink(edge[static_cast<size_t>(e)], aggr[static_cast<size_t>(a)], fabric_rate,
+                     options.link_delay);
+      }
+    }
+    // Hosts under each edge switch.
+    for (int e = 0; e < half; ++e) {
+      for (int h = 0; h < half; ++h) {
+        const int host = topo.AddHost(Name("host", pod * half * half + e * half + h), pod);
+        topo.AddLink(host, edge[static_cast<size_t>(e)], options.host_rate_bps,
+                     options.link_delay);
+      }
+    }
+    // Aggregation a connects to core group a (cores a*half .. a*half+half-1).
+    for (int a = 0; a < half; ++a) {
+      for (int c = 0; c < half; ++c) {
+        topo.AddLink(aggr[static_cast<size_t>(a)], core[static_cast<size_t>(a * half + c)],
+                     fabric_rate, options.link_delay);
+      }
+    }
+  }
+
+  DIBS_CHECK_EQ(topo.num_hosts(), k * k * k / 4);
+  return topo;
+}
+
+Topology BuildPaperFatTree() {
+  FatTreeOptions options;
+  options.k = 8;
+  return BuildFatTree(options);
+}
+
+Topology BuildEmulabTestbed(int64_t rate_bps, Time delay) {
+  Topology topo;
+  std::vector<int> aggr;
+  for (int a = 0; a < 2; ++a) {
+    aggr.push_back(topo.AddNode(NodeKind::kAggregation, Name("aggr", a)));
+  }
+  for (int e = 0; e < 3; ++e) {
+    const int edge = topo.AddNode(NodeKind::kEdge, Name("edge", e));
+    for (int a = 0; a < 2; ++a) {
+      topo.AddLink(edge, aggr[static_cast<size_t>(a)], rate_bps, delay);
+    }
+    for (int h = 0; h < 2; ++h) {
+      const int host = topo.AddHost(Name("host", e * 2 + h));
+      topo.AddLink(host, edge, rate_bps, delay);
+    }
+  }
+  return topo;
+}
+
+Topology BuildLeafSpine(const LeafSpineOptions& options) {
+  DIBS_CHECK_GT(options.leaves, 0);
+  DIBS_CHECK_GT(options.spines, 0);
+  Topology topo;
+  std::vector<int> spines;
+  for (int s = 0; s < options.spines; ++s) {
+    spines.push_back(topo.AddNode(NodeKind::kCore, Name("spine", s)));
+  }
+  for (int l = 0; l < options.leaves; ++l) {
+    const int leaf = topo.AddNode(NodeKind::kEdge, Name("leaf", l));
+    for (int s = 0; s < options.spines; ++s) {
+      topo.AddLink(leaf, spines[static_cast<size_t>(s)], options.fabric_rate_bps,
+                   options.link_delay);
+    }
+    for (int h = 0; h < options.hosts_per_leaf; ++h) {
+      const int host = topo.AddHost(Name("host", l * options.hosts_per_leaf + h));
+      topo.AddLink(host, leaf, options.host_rate_bps, options.link_delay);
+    }
+  }
+  return topo;
+}
+
+Topology BuildLinear(int num_switches, int hosts_per_switch, int64_t rate_bps, Time delay) {
+  DIBS_CHECK_GT(num_switches, 0);
+  Topology topo;
+  std::vector<int> switches;
+  for (int s = 0; s < num_switches; ++s) {
+    switches.push_back(topo.AddNode(NodeKind::kSwitch, Name("sw", s)));
+    if (s > 0) {
+      topo.AddLink(switches[static_cast<size_t>(s - 1)], switches[static_cast<size_t>(s)],
+                   rate_bps, delay);
+    }
+    for (int h = 0; h < hosts_per_switch; ++h) {
+      const int host = topo.AddHost(Name("host", s * hosts_per_switch + h));
+      topo.AddLink(host, switches[static_cast<size_t>(s)], rate_bps, delay);
+    }
+  }
+  return topo;
+}
+
+Topology BuildJellyFish(const JellyFishOptions& options) {
+  const int n = options.switches;
+  const int r = options.degree;
+  DIBS_CHECK_GT(n, r);
+  DIBS_CHECK(n * r % 2 == 0) << "n * degree must be even for a regular graph";
+
+  Rng rng(options.seed);
+
+  // Random regular graph via repeated stub matching; retry until simple and
+  // connected (expected O(1) attempts for the sizes used here).
+  std::vector<std::pair<int, int>> edges;
+  for (int attempt = 0; attempt < 1000; ++attempt) {
+    edges.clear();
+    std::vector<int> stubs;
+    for (int v = 0; v < n; ++v) {
+      for (int i = 0; i < r; ++i) {
+        stubs.push_back(v);
+      }
+    }
+    std::shuffle(stubs.begin(), stubs.end(), rng.engine());
+    std::set<std::pair<int, int>> seen;
+    bool ok = true;
+    for (size_t i = 0; i + 1 < stubs.size(); i += 2) {
+      int a = stubs[i];
+      int b = stubs[i + 1];
+      if (a == b) {
+        ok = false;
+        break;
+      }
+      if (a > b) {
+        std::swap(a, b);
+      }
+      if (!seen.insert({a, b}).second) {
+        ok = false;
+        break;
+      }
+      edges.emplace_back(a, b);
+    }
+    if (!ok) {
+      continue;
+    }
+    // Connectivity check on the switch graph.
+    std::vector<std::vector<int>> adj(static_cast<size_t>(n));
+    for (const auto& [a, b] : edges) {
+      adj[static_cast<size_t>(a)].push_back(b);
+      adj[static_cast<size_t>(b)].push_back(a);
+    }
+    std::vector<bool> visited(static_cast<size_t>(n), false);
+    std::vector<int> stack{0};
+    visited[0] = true;
+    int count = 1;
+    while (!stack.empty()) {
+      const int u = stack.back();
+      stack.pop_back();
+      for (int v : adj[static_cast<size_t>(u)]) {
+        if (!visited[static_cast<size_t>(v)]) {
+          visited[static_cast<size_t>(v)] = true;
+          ++count;
+          stack.push_back(v);
+        }
+      }
+    }
+    if (count == n) {
+      break;
+    }
+    edges.clear();
+  }
+  DIBS_CHECK(!edges.empty()) << "failed to build a connected random regular graph";
+
+  Topology topo;
+  std::vector<int> switches;
+  for (int s = 0; s < n; ++s) {
+    switches.push_back(topo.AddNode(NodeKind::kSwitch, Name("sw", s)));
+  }
+  for (const auto& [a, b] : edges) {
+    topo.AddLink(switches[static_cast<size_t>(a)], switches[static_cast<size_t>(b)],
+                 options.rate_bps, options.link_delay);
+  }
+  for (int s = 0; s < n; ++s) {
+    for (int h = 0; h < options.hosts_per_switch; ++h) {
+      const int host = topo.AddHost(Name("host", s * options.hosts_per_switch + h));
+      topo.AddLink(host, switches[static_cast<size_t>(s)], options.rate_bps, options.link_delay);
+    }
+  }
+  return topo;
+}
+
+}  // namespace dibs

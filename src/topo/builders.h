@@ -1,0 +1,71 @@
+// Concrete topology builders.
+//
+// FatTree(K) is the paper's evaluation fabric (K=8, 128 hosts, §5.3);
+// EmulabTestbed is the Click testbed of §5.2 (2 aggregation + 3 edge
+// switches, 2 hosts per rack); LeafSpine and Linear cover the §7 discussion
+// (a linear topology is the degenerate worst case for detouring); JellyFish
+// is the random-regular-graph fabric §7 argues suits DIBS well.
+
+#ifndef SRC_TOPO_BUILDERS_H_
+#define SRC_TOPO_BUILDERS_H_
+
+#include <cstdint>
+
+#include "src/topo/topology.h"
+#include "src/util/rng.h"
+
+namespace dibs {
+
+inline constexpr int64_t kGbps = 1000000000;
+inline constexpr Time kDefaultLinkDelay = Time::Micros(1);
+
+struct FatTreeOptions {
+  int k = 8;                         // pod count; must be even
+  int64_t host_rate_bps = kGbps;     // host <-> edge links
+  double oversubscription = 1.0;     // inter-switch rate = host_rate / factor (§5.5.4)
+  Time link_delay = kDefaultLinkDelay;
+};
+
+// Standard K-ary fat-tree: K pods of K/2 edge + K/2 aggregation switches,
+// (K/2)^2 core switches, K/2 hosts per edge switch => K^3/4 hosts.
+Topology BuildFatTree(const FatTreeOptions& options);
+
+// Convenience for the paper's default fabric (K=8, 1Gbps, no oversubscription).
+Topology BuildPaperFatTree();
+
+// The §5.2 Emulab/Click testbed: 2 aggregation switches, 3 edge switches
+// (each connected to both aggregation switches), 2 hosts per edge switch.
+Topology BuildEmulabTestbed(int64_t rate_bps = kGbps, Time delay = kDefaultLinkDelay);
+
+struct LeafSpineOptions {
+  int leaves = 4;
+  int spines = 4;
+  int hosts_per_leaf = 8;
+  int64_t host_rate_bps = kGbps;
+  int64_t fabric_rate_bps = kGbps;
+  Time link_delay = kDefaultLinkDelay;
+};
+
+Topology BuildLeafSpine(const LeafSpineOptions& options);
+
+// A chain of switches, each with `hosts_per_switch` hosts — the degenerate
+// detouring topology from the §7 footnote (detours can only go backwards).
+Topology BuildLinear(int num_switches, int hosts_per_switch, int64_t rate_bps = kGbps,
+                     Time delay = kDefaultLinkDelay);
+
+struct JellyFishOptions {
+  int switches = 20;
+  int degree = 4;  // switch-to-switch ports per switch
+  int hosts_per_switch = 2;
+  int64_t rate_bps = kGbps;
+  Time link_delay = kDefaultLinkDelay;
+  uint64_t seed = 42;
+};
+
+// Random regular graph among switches (Singla et al.). The builder retries
+// the matching until the switch graph is connected and simple.
+Topology BuildJellyFish(const JellyFishOptions& options);
+
+}  // namespace dibs
+
+#endif  // SRC_TOPO_BUILDERS_H_

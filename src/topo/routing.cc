@@ -1,0 +1,69 @@
+#include "src/topo/routing.h"
+
+#include <deque>
+
+namespace dibs {
+
+Fib Fib::Compute(const Topology& topo) {
+  Fib fib;
+  const auto num_nodes = static_cast<size_t>(topo.num_nodes());
+  const auto num_hosts = static_cast<size_t>(topo.num_hosts());
+  fib.table_.assign(num_nodes, std::vector<std::vector<uint16_t>>(num_hosts));
+  fib.dist_.assign(num_nodes, std::vector<int>(num_hosts, -1));
+
+  for (HostId h = 0; h < topo.num_hosts(); ++h) {
+    const int dst_node = topo.host_node(h);
+    // BFS outward from the destination; hosts other than the destination are
+    // leaves (they never forward transit packets).
+    std::vector<int> dist(num_nodes, -1);
+    std::deque<int> frontier;
+    dist[static_cast<size_t>(dst_node)] = 0;
+    frontier.push_back(dst_node);
+    while (!frontier.empty()) {
+      const int u = frontier.front();
+      frontier.pop_front();
+      if (u != dst_node && !IsSwitchKind(topo.node(u).kind)) {
+        continue;
+      }
+      for (const PortRef& p : topo.ports(u)) {
+        if (dist[static_cast<size_t>(p.neighbor)] < 0) {
+          dist[static_cast<size_t>(p.neighbor)] = dist[static_cast<size_t>(u)] + 1;
+          frontier.push_back(p.neighbor);
+        }
+      }
+    }
+    for (size_t n = 0; n < num_nodes; ++n) {
+      fib.dist_[n][static_cast<size_t>(h)] = dist[n];
+      if (dist[n] <= 0) {
+        continue;  // destination itself or unreachable
+      }
+      const auto& ports = topo.ports(static_cast<int>(n));
+      auto& entry = fib.table_[n][static_cast<size_t>(h)];
+      for (uint16_t port = 0; port < ports.size(); ++port) {
+        const int neighbor = ports[port].neighbor;
+        if (dist[static_cast<size_t>(neighbor)] == dist[n] - 1) {
+          entry.push_back(port);
+        }
+      }
+    }
+  }
+  return fib;
+}
+
+uint16_t Fib::EcmpPort(int node, HostId dst, FlowId flow) const {
+  const auto& ports = NextHopPorts(node, dst);
+  DIBS_CHECK(!ports.empty()) << "no route from node " << node << " to host " << dst;
+  if (ports.size() == 1) {
+    return ports[0];
+  }
+  // splitmix64 over (flow, node): cheap, well-distributed, deterministic.
+  uint64_t x = flow * 0x9E3779B97F4A7C15ull + static_cast<uint64_t>(node) * 0xBF58476D1CE4E5B9ull;
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ull;
+  x ^= x >> 27;
+  x *= 0x94D049BB133111EBull;
+  x ^= x >> 31;
+  return ports[x % ports.size()];
+}
+
+}  // namespace dibs

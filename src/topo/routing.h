@@ -1,0 +1,51 @@
+// Forwarding tables (FIBs) with equal-cost multi-path next hops.
+//
+// Per §3 the paper assumes FIB-based forwarding (computed centrally or by
+// OSPF/ISIS) with flow-level ECMP among shortest paths, and no spanning-tree.
+// We compute, for every (node, destination-host) pair, the set of ports that
+// lie on shortest paths — a packet's outgoing port is then chosen by hashing
+// its flow id over that set. Hosts never forward transit traffic, so BFS
+// refuses to expand through host nodes.
+
+#ifndef SRC_TOPO_ROUTING_H_
+#define SRC_TOPO_ROUTING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/net/packet.h"
+#include "src/topo/topology.h"
+
+namespace dibs {
+
+class Fib {
+ public:
+  // Computes shortest-path ECMP tables for every node toward every host.
+  static Fib Compute(const Topology& topo);
+
+  // Ports of `node` on shortest paths toward host `dst`. Empty only if the
+  // destination is unreachable (never the case for the built-in topologies).
+  const std::vector<uint16_t>& NextHopPorts(int node, HostId dst) const {
+    return table_[static_cast<size_t>(node)][static_cast<size_t>(dst)];
+  }
+
+  // Hop count from `node` to host `dst` (-1 if unreachable).
+  int Distance(int node, HostId dst) const {
+    return dist_[static_cast<size_t>(node)][static_cast<size_t>(dst)];
+  }
+
+  // Deterministic ECMP pick: hashes (flow, node) over the next-hop set so a
+  // flow takes one consistent path but different switches decorrelate.
+  uint16_t EcmpPort(int node, HostId dst, FlowId flow) const;
+
+  int num_nodes() const { return static_cast<int>(table_.size()); }
+
+ private:
+  // table_[node][dst] = ports on shortest paths; dist_[node][dst] = hops.
+  std::vector<std::vector<std::vector<uint16_t>>> table_;
+  std::vector<std::vector<int>> dist_;
+};
+
+}  // namespace dibs
+
+#endif  // SRC_TOPO_ROUTING_H_

@@ -1,0 +1,90 @@
+#include "src/topo/topology.h"
+
+#include <deque>
+#include <utility>
+
+namespace dibs {
+
+int Topology::AddNode(NodeKind kind, std::string name, int pod) {
+  const int id = static_cast<int>(nodes_.size());
+  nodes_.push_back(TopoNode{id, kind, pod, kInvalidHost, std::move(name)});
+  adj_.emplace_back();
+  return id;
+}
+
+int Topology::AddHost(std::string name, int pod) {
+  const int id = AddNode(NodeKind::kHost, std::move(name), pod);
+  nodes_[static_cast<size_t>(id)].host_id = static_cast<HostId>(host_nodes_.size());
+  host_nodes_.push_back(id);
+  return id;
+}
+
+int Topology::AddLink(int a, int b, int64_t rate_bps, Time delay) {
+  DIBS_CHECK(a >= 0 && a < num_nodes());
+  DIBS_CHECK(b >= 0 && b < num_nodes());
+  DIBS_CHECK_NE(a, b);
+  DIBS_CHECK_GT(rate_bps, 0);
+  const int id = static_cast<int>(links_.size());
+  links_.push_back(TopoLink{a, b, rate_bps, delay});
+  adj_[static_cast<size_t>(a)].push_back(PortRef{b, id});
+  adj_[static_cast<size_t>(b)].push_back(PortRef{a, id});
+  return id;
+}
+
+std::vector<int> Topology::BfsDistances(int from) const {
+  std::vector<int> dist(static_cast<size_t>(num_nodes()), -1);
+  std::deque<int> frontier;
+  dist[static_cast<size_t>(from)] = 0;
+  frontier.push_back(from);
+  while (!frontier.empty()) {
+    const int u = frontier.front();
+    frontier.pop_front();
+    for (const PortRef& p : adj_[static_cast<size_t>(u)]) {
+      if (dist[static_cast<size_t>(p.neighbor)] < 0) {
+        dist[static_cast<size_t>(p.neighbor)] = dist[static_cast<size_t>(u)] + 1;
+        frontier.push_back(p.neighbor);
+      }
+    }
+  }
+  return dist;
+}
+
+int Topology::HostDiameter() const {
+  int diameter = 0;
+  for (int h = 0; h < num_hosts(); ++h) {
+    const std::vector<int> dist = BfsDistances(host_node(h));
+    for (int g = 0; g < num_hosts(); ++g) {
+      diameter = std::max(diameter, dist[static_cast<size_t>(host_node(g))]);
+    }
+  }
+  return diameter;
+}
+
+std::vector<int> Topology::SwitchNeighborhood(int center, int radius) const {
+  DIBS_CHECK(IsSwitchKind(node(center).kind));
+  std::vector<int> dist(static_cast<size_t>(num_nodes()), -1);
+  std::deque<int> frontier;
+  dist[static_cast<size_t>(center)] = 0;
+  frontier.push_back(center);
+  std::vector<int> result;
+  while (!frontier.empty()) {
+    const int u = frontier.front();
+    frontier.pop_front();
+    if (dist[static_cast<size_t>(u)] >= radius) {
+      continue;
+    }
+    for (const PortRef& p : adj_[static_cast<size_t>(u)]) {
+      if (!IsSwitchKind(node(p.neighbor).kind)) {
+        continue;  // neighborhood is over the switch-only subgraph
+      }
+      if (dist[static_cast<size_t>(p.neighbor)] < 0) {
+        dist[static_cast<size_t>(p.neighbor)] = dist[static_cast<size_t>(u)] + 1;
+        frontier.push_back(p.neighbor);
+        result.push_back(p.neighbor);
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace dibs

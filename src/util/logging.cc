@@ -1,0 +1,87 @@
+#include "src/util/logging.h"
+
+namespace dibs {
+namespace {
+
+LogLevel g_level = LogLevel::kWarning;
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace:
+      return "TRACE";
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kFatal:
+      return "FATAL";
+  }
+  return "?";
+}
+
+// Strips the directory part so log lines stay short.
+const char* Basename(const char* path) {
+  const char* base = path;
+  for (const char* p = path; *p != '\0'; ++p) {
+    if (*p == '/') {
+      base = p + 1;
+    }
+  }
+  return base;
+}
+
+}  // namespace
+
+LogLevel GetLogLevel() { return g_level; }
+
+void SetLogLevel(LogLevel level) { g_level = level; }
+
+LogLevel ParseLogLevel(const std::string& name) {
+  if (name == "trace") {
+    return LogLevel::kTrace;
+  }
+  if (name == "debug") {
+    return LogLevel::kDebug;
+  }
+  if (name == "warning" || name == "warn") {
+    return LogLevel::kWarning;
+  }
+  if (name == "error") {
+    return LogLevel::kError;
+  }
+  if (name == "fatal") {
+    return LogLevel::kFatal;
+  }
+  return LogLevel::kInfo;
+}
+
+namespace internal {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line) : level_(level) {
+  stream_ << "[" << LevelName(level) << " " << Basename(file) << ":" << line << "] ";
+}
+
+LogMessage::~LogMessage() {
+  stream_ << "\n";
+  std::cerr << stream_.str();
+  if (level_ == LogLevel::kFatal) {
+    std::abort();
+  }
+}
+
+FatalMessage::FatalMessage(const char* file, int line, const char* condition) {
+  stream_ << "[CHECK " << Basename(file) << ":" << line << "] failed: " << condition << " ";
+}
+
+FatalMessage::~FatalMessage() {
+  stream_ << "\n";
+  std::cerr << stream_.str();
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace dibs

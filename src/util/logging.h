@@ -1,0 +1,108 @@
+// Minimal logging and assertion support for the DIBS library.
+//
+// The library is single-threaded by design (the simulator is a deterministic
+// discrete-event engine), so the logger keeps no locks. Severity can be
+// adjusted at runtime via SetLogLevel(), and everything below the active
+// level compiles down to a short-circuited stream that is never evaluated.
+
+#ifndef SRC_UTIL_LOGGING_H_
+#define SRC_UTIL_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace dibs {
+
+enum class LogLevel : int {
+  kTrace = 0,
+  kDebug = 1,
+  kInfo = 2,
+  kWarning = 3,
+  kError = 4,
+  kFatal = 5,
+};
+
+// Returns the currently active minimum severity.
+LogLevel GetLogLevel();
+
+// Sets the active minimum severity. Messages below this level are discarded.
+void SetLogLevel(LogLevel level);
+
+// Parses a level name ("trace", "debug", "info", "warning", "error", "fatal").
+// Unknown names return kInfo.
+LogLevel ParseLogLevel(const std::string& name);
+
+namespace internal {
+
+// Accumulates one log statement and emits it on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+// Used by DIBS_CHECK: logs the failed condition and aborts.
+class FatalMessage {
+ public:
+  FatalMessage(const char* file, int line, const char* condition);
+  [[noreturn]] ~FatalMessage();
+
+  FatalMessage(const FatalMessage&) = delete;
+  FatalMessage& operator=(const FatalMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+struct Voidify {
+  // Lowest-precedence operator that still binds tighter than ?: — lets the
+  // macros below swallow the stream expression when the level is disabled.
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace internal
+}  // namespace dibs
+
+#define DIBS_LOG_IS_ON(level) (::dibs::LogLevel::level >= ::dibs::GetLogLevel())
+
+#define DIBS_LOG(level)                                 \
+  !DIBS_LOG_IS_ON(level)                                \
+      ? (void)0                                         \
+      : ::dibs::internal::Voidify() &                   \
+            ::dibs::internal::LogMessage(::dibs::LogLevel::level, __FILE__, __LINE__).stream()
+
+// Always-on invariant check; aborts with a message when violated.
+#define DIBS_CHECK(condition)         \
+  (condition)                         \
+      ? (void)0                       \
+      : ::dibs::internal::Voidify() & \
+            ::dibs::internal::FatalMessage(__FILE__, __LINE__, #condition).stream()
+
+#define DIBS_CHECK_OP(op, a, b) DIBS_CHECK((a)op(b)) << " (" << (a) << " vs " << (b) << ") "
+#define DIBS_CHECK_EQ(a, b) DIBS_CHECK_OP(==, a, b)
+#define DIBS_CHECK_NE(a, b) DIBS_CHECK_OP(!=, a, b)
+#define DIBS_CHECK_LT(a, b) DIBS_CHECK_OP(<, a, b)
+#define DIBS_CHECK_LE(a, b) DIBS_CHECK_OP(<=, a, b)
+#define DIBS_CHECK_GT(a, b) DIBS_CHECK_OP(>, a, b)
+#define DIBS_CHECK_GE(a, b) DIBS_CHECK_OP(>=, a, b)
+
+#ifdef NDEBUG
+#define DIBS_DCHECK(condition) DIBS_CHECK(true || (condition))
+#else
+#define DIBS_DCHECK(condition) DIBS_CHECK(condition)
+#endif
+
+#endif  // SRC_UTIL_LOGGING_H_

@@ -1,0 +1,111 @@
+#include "src/util/stats_util.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/logging.h"
+
+namespace dibs {
+
+double PercentileSorted(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) {
+    return 0.0;
+  }
+  DIBS_DCHECK(p >= 0.0 && p <= 100.0);
+  if (sorted.size() == 1) {
+    return sorted[0];
+  }
+  const double rank = (p / 100.0) * static_cast<double>(sorted.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double Percentile(std::vector<double> values, double p) {
+  std::sort(values.begin(), values.end());
+  return PercentileSorted(values, p);
+}
+
+double Mean(const std::vector<double>& values) {
+  if (values.empty()) {
+    return 0.0;
+  }
+  double sum = 0.0;
+  for (double v : values) {
+    sum += v;
+  }
+  return sum / static_cast<double>(values.size());
+}
+
+double StdDev(const std::vector<double>& values) {
+  if (values.size() < 2) {
+    return 0.0;
+  }
+  const double mean = Mean(values);
+  double acc = 0.0;
+  for (double v : values) {
+    acc += (v - mean) * (v - mean);
+  }
+  return std::sqrt(acc / static_cast<double>(values.size() - 1));
+}
+
+double JainFairnessIndex(const std::vector<double>& values) {
+  if (values.empty()) {
+    return 1.0;
+  }
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (double v : values) {
+    sum += v;
+    sum_sq += v * v;
+  }
+  if (sum_sq == 0.0) {
+    return 1.0;
+  }
+  // Clamp: floating-point rounding can push a perfectly fair allocation to
+  // 1 + epsilon.
+  return std::min(1.0, (sum * sum) / (static_cast<double>(values.size()) * sum_sq));
+}
+
+Summary Summarize(std::vector<double> values) {
+  Summary s;
+  if (values.empty()) {
+    return s;
+  }
+  std::sort(values.begin(), values.end());
+  s.count = values.size();
+  s.mean = Mean(values);
+  s.min = values.front();
+  s.max = values.back();
+  s.p50 = PercentileSorted(values, 50);
+  s.p90 = PercentileSorted(values, 90);
+  s.p99 = PercentileSorted(values, 99);
+  s.p999 = PercentileSorted(values, 99.9);
+  return s;
+}
+
+std::vector<std::pair<double, double>> EmpiricalCdfPoints(std::vector<double> values,
+                                                          size_t points) {
+  std::vector<std::pair<double, double>> cdf;
+  if (values.empty() || points == 0) {
+    return cdf;
+  }
+  std::sort(values.begin(), values.end());
+  const size_t n = values.size();
+  cdf.reserve(points);
+  for (size_t i = 1; i <= points; ++i) {
+    // Index of the sample whose cumulative fraction is i/points.
+    const double frac = static_cast<double>(i) / static_cast<double>(points);
+    size_t idx = static_cast<size_t>(frac * static_cast<double>(n));
+    if (idx > 0) {
+      --idx;
+    }
+    idx = std::min(idx, n - 1);
+    cdf.emplace_back(values[idx], frac);
+  }
+  cdf.back() = {values.back(), 1.0};
+  return cdf;
+}
+
+}  // namespace dibs

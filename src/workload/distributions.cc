@@ -1,0 +1,82 @@
+#include "src/workload/distributions.h"
+
+#include <algorithm>
+
+#include "src/util/logging.h"
+
+namespace dibs {
+
+EmpiricalCdf::EmpiricalCdf(std::vector<std::pair<double, double>> knots)
+    : knots_(std::move(knots)) {
+  DIBS_CHECK_GE(knots_.size(), 2u);
+  DIBS_CHECK_GT(knots_.front().first, 0.0);
+  for (size_t i = 1; i < knots_.size(); ++i) {
+    DIBS_CHECK_GT(knots_[i].first, knots_[i - 1].first);
+    DIBS_CHECK_GE(knots_[i].second, knots_[i - 1].second);
+  }
+  DIBS_CHECK_EQ(knots_.back().second, 1.0);
+}
+
+double EmpiricalCdf::InverseAt(double u) const {
+  if (u <= knots_.front().second) {
+    return knots_.front().first;
+  }
+  for (size_t i = 1; i < knots_.size(); ++i) {
+    if (u <= knots_[i].second) {
+      const auto& [v0, p0] = knots_[i - 1];
+      const auto& [v1, p1] = knots_[i];
+      if (p1 == p0) {
+        return v1;
+      }
+      const double frac = (u - p0) / (p1 - p0);
+      return v0 + frac * (v1 - v0);
+    }
+  }
+  return knots_.back().first;
+}
+
+double EmpiricalCdf::Sample(Rng& rng) const { return InverseAt(rng.UniformDouble()); }
+
+double EmpiricalCdf::Mean() const {
+  // Piecewise-linear inverse CDF: each segment contributes its midpoint value
+  // weighted by its probability mass.
+  double mean = knots_.front().first * knots_.front().second;
+  for (size_t i = 1; i < knots_.size(); ++i) {
+    const auto& [v0, p0] = knots_[i - 1];
+    const auto& [v1, p1] = knots_[i];
+    mean += (p1 - p0) * (v0 + v1) / 2.0;
+  }
+  return mean;
+}
+
+EmpiricalCdf WebSearchFlowSizes() {
+  // Knots (bytes, cumulative fraction) transcribed from the DCTCP web-search
+  // workload as used by subsequent evaluations (pFabric et al.): half the
+  // flows are a few KB, 80% are under ~130KB, and the heaviest 5% reach tens
+  // of MB (those carry most of the bytes).
+  return EmpiricalCdf({
+      {1000, 0.0},
+      {6000, 0.15},
+      {13000, 0.30},
+      {19000, 0.45},
+      {33000, 0.60},
+      {53000, 0.70},
+      {133000, 0.80},
+      {667000, 0.90},
+      {1467000, 0.95},
+      {3333000, 0.98},
+      {10000000, 0.999},
+      {30000000, 1.0},
+  });
+}
+
+EmpiricalCdf ShortFlowSizes() {
+  return EmpiricalCdf({
+      {1000, 0.0},
+      {2000, 0.25},
+      {5000, 0.75},
+      {10000, 1.0},
+  });
+}
+
+}  // namespace dibs

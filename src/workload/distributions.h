@@ -1,0 +1,52 @@
+// Flow-size distributions.
+//
+// The paper drives its simulations with the traffic distributions measured in
+// a production data center by the DCTCP paper [18]: mostly-small background
+// flows (80% under 100KB) with a heavy tail of multi-MB flows. We encode the
+// published web-search flow-size CDF as an EmpiricalCdf and sample it by
+// inverse transform with log-linear interpolation between knots.
+
+#ifndef SRC_WORKLOAD_DISTRIBUTIONS_H_
+#define SRC_WORKLOAD_DISTRIBUTIONS_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "src/util/rng.h"
+
+namespace dibs {
+
+class EmpiricalCdf {
+ public:
+  // `knots`: (value, cumulative probability) pairs; probabilities must be
+  // non-decreasing and end at 1.0; values must be positive and increasing.
+  explicit EmpiricalCdf(std::vector<std::pair<double, double>> knots);
+
+  // Inverse-transform sample with linear interpolation between knots.
+  double Sample(Rng& rng) const;
+
+  // Expected value under the piecewise-linear interpolation.
+  double Mean() const;
+
+  double MinValue() const { return knots_.front().first; }
+  double MaxValue() const { return knots_.back().first; }
+  const std::vector<std::pair<double, double>>& knots() const { return knots_; }
+
+ private:
+  double InverseAt(double u) const;
+
+  std::vector<std::pair<double, double>> knots_;
+};
+
+// The DCTCP-paper web-search background flow-size distribution (bytes).
+// ~50% of flows are tiny (<10KB), ~80% under 100KB, with a tail to ~30MB —
+// the mix the paper's §5.3 background traffic reproduces.
+EmpiricalCdf WebSearchFlowSizes();
+
+// Short-flow-only variant used by tests and micro-studies.
+EmpiricalCdf ShortFlowSizes();
+
+}  // namespace dibs
+
+#endif  // SRC_WORKLOAD_DISTRIBUTIONS_H_

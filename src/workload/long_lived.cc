@@ -1,0 +1,50 @@
+#include "src/workload/long_lived.h"
+
+#include "src/device/network.h"
+#include "src/util/logging.h"
+#include "src/util/stats_util.h"
+
+namespace dibs {
+
+LongLivedWorkload::LongLivedWorkload(Network* network, FlowManager* flows, Options options)
+    : network_(network), flows_(flows), options_(options) {
+  DIBS_CHECK_GE(network_->num_hosts(), 2);
+  DIBS_CHECK_GT(options_.flows_per_pair, 0);
+}
+
+void LongLivedWorkload::Start() {
+  start_time_ = network_->sim().Now();
+  const int n = network_->num_hosts();
+  // Node-disjoint pairs: (0,1), (2,3), ... — §5.6 pairs all 128 hosts.
+  for (int a = 0; a + 1 < n; a += 2) {
+    const auto src = static_cast<HostId>(a);
+    const auto dst = static_cast<HostId>(a + 1);
+    for (int i = 0; i < options_.flows_per_pair; ++i) {
+      flow_ids_.push_back(
+          flows_->StartFlow(src, dst, options_.flow_bytes, TrafficClass::kLongLived, nullptr));
+      if (options_.bidirectional) {
+        flow_ids_.push_back(
+            flows_->StartFlow(dst, src, options_.flow_bytes, TrafficClass::kLongLived, nullptr));
+      }
+    }
+  }
+}
+
+std::vector<double> LongLivedWorkload::MeasureGoodputBps() const {
+  const Time elapsed = network_->sim().Now() - start_time_;
+  DIBS_CHECK(elapsed > Time::Zero());
+  std::vector<double> goodput;
+  goodput.reserve(flow_ids_.size());
+  for (FlowId id : flow_ids_) {
+    const TcpReceiver* recv = const_cast<FlowManager*>(flows_)->receiver(id);
+    DIBS_CHECK(recv != nullptr);
+    const double bytes =
+        static_cast<double>(recv->segments_received()) * static_cast<double>(kMaxSegmentBytes);
+    goodput.push_back(bytes * 8.0 / elapsed.ToSeconds());
+  }
+  return goodput;
+}
+
+double LongLivedWorkload::FairnessIndex() const { return JainFairnessIndex(MeasureGoodputBps()); }
+
+}  // namespace dibs

@@ -1,0 +1,51 @@
+// Long-lived flow sets for the fairness experiment (§5.6): the hosts are
+// split into node-disjoint pairs and each pair runs N bulk flows in both
+// directions. Throughput is measured receiver-side over the run and fed to
+// Jain's fairness index.
+
+#ifndef SRC_WORKLOAD_LONG_LIVED_H_
+#define SRC_WORKLOAD_LONG_LIVED_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/sim/simulator.h"
+#include "src/transport/flow_manager.h"
+
+namespace dibs {
+
+class Network;
+
+class LongLivedWorkload {
+ public:
+  struct Options {
+    int flows_per_pair = 1;            // N in §5.6 (1..16)
+    uint64_t flow_bytes = 1u << 30;    // effectively unbounded for the run
+    bool bidirectional = true;
+  };
+
+  LongLivedWorkload(Network* network, FlowManager* flows, Options options);
+
+  // Starts all flows at the current simulation time.
+  void Start();
+
+  // Per-flow goodput in bits/second, measured from receiver progress at call
+  // time over the elapsed time since Start().
+  std::vector<double> MeasureGoodputBps() const;
+
+  // Jain's fairness index over MeasureGoodputBps().
+  double FairnessIndex() const;
+
+  size_t num_flows() const { return flow_ids_.size(); }
+
+ private:
+  Network* network_;
+  FlowManager* flows_;
+  Options options_;
+  std::vector<FlowId> flow_ids_;
+  Time start_time_;
+};
+
+}  // namespace dibs
+
+#endif  // SRC_WORKLOAD_LONG_LIVED_H_

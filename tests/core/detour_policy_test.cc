@@ -1,0 +1,233 @@
+#include "src/core/detour_policy.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+
+namespace dibs {
+namespace {
+
+// Builds a context with ports: [0]=desired (full), [1]=host-facing (free),
+// [2..n-1] switch-facing with given fullness.
+struct ContextFixture {
+  ContextFixture(std::vector<bool> switch_port_full, TrafficClass cls = TrafficClass::kQuery) {
+    ports.push_back({0, /*to_switch=*/true, /*full=*/true, 100, 100});   // desired
+    ports.push_back({1, /*to_switch=*/false, /*full=*/false, 0, 100});   // host port
+    uint16_t idx = 2;
+    for (bool full : switch_port_full) {
+      ports.push_back({idx++, true, full, full ? size_t{100} : size_t{10}, 100});
+    }
+    packet.flow = 42;
+    packet.traffic_class = cls;
+    ctx.node = 5;
+    ctx.desired_port = 0;
+    ctx.in_port = 2;
+    ctx.desired_queue_len = 100;
+    ctx.desired_queue_cap = 100;
+    ctx.packet = &packet;
+    ctx.ports = &ports;
+  }
+
+  std::vector<DetourPortInfo> ports;
+  Packet packet;
+  DetourContext ctx;
+};
+
+TEST(NoDetourTest, AlwaysDeclines) {
+  ContextFixture f({false, false, false});
+  NoDetour policy;
+  Rng rng(1);
+  EXPECT_FALSE(policy.ChoosePort(f.ctx, rng).has_value());
+  EXPECT_FALSE(policy.ShouldDetourEarly(f.ctx, rng));
+}
+
+TEST(RandomDetourTest, NeverPicksDesiredHostOrFullPorts) {
+  ContextFixture f({false, true, false, true});
+  RandomDetour policy;
+  Rng rng(7);
+  for (int i = 0; i < 200; ++i) {
+    const auto port = policy.ChoosePort(f.ctx, rng);
+    ASSERT_TRUE(port.has_value());
+    EXPECT_NE(*port, 0);  // desired
+    EXPECT_NE(*port, 1);  // host-facing
+    EXPECT_NE(*port, 3);  // full
+    EXPECT_NE(*port, 5);  // full
+  }
+}
+
+TEST(RandomDetourTest, CoversAllEligiblePorts) {
+  ContextFixture f({false, false, false, false});
+  RandomDetour policy;
+  Rng rng(11);
+  std::set<uint16_t> seen;
+  for (int i = 0; i < 500; ++i) {
+    seen.insert(*policy.ChoosePort(f.ctx, rng));
+  }
+  EXPECT_EQ(seen, (std::set<uint16_t>{2, 3, 4, 5}));
+}
+
+TEST(RandomDetourTest, RoughlyUniform) {
+  ContextFixture f({false, false, false, false});
+  RandomDetour policy;
+  Rng rng(13);
+  std::map<uint16_t, int> counts;
+  const int n = 8000;
+  for (int i = 0; i < n; ++i) {
+    ++counts[*policy.ChoosePort(f.ctx, rng)];
+  }
+  for (const auto& [port, count] : counts) {
+    EXPECT_NEAR(static_cast<double>(count) / n, 0.25, 0.03);
+  }
+}
+
+TEST(RandomDetourTest, DropsWhenAllEligibleFull) {
+  ContextFixture f({true, true, true});
+  RandomDetour policy;
+  Rng rng(3);
+  EXPECT_FALSE(policy.ChoosePort(f.ctx, rng).has_value());
+}
+
+TEST(RandomDetourTest, InputPortIsEligible) {
+  // Only the input port (2) is free: packets may bounce straight back.
+  ContextFixture f({false, true, true});
+  RandomDetour policy;
+  Rng rng(5);
+  EXPECT_EQ(*policy.ChoosePort(f.ctx, rng), 2);
+}
+
+TEST(LoadAwareDetourTest, PicksShortestQueue) {
+  ContextFixture f({false, false});
+  // Make port 3 clearly the emptiest.
+  f.ports[2].queue_len = 50;
+  f.ports[3].queue_len = 5;
+  LoadAwareDetour policy;
+  Rng rng(9);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(*policy.ChoosePort(f.ctx, rng), 3);
+  }
+}
+
+TEST(LoadAwareDetourTest, BreaksTiesRandomly) {
+  ContextFixture f({false, false, false});
+  for (auto& info : f.ports) {
+    info.queue_len = 10;
+  }
+  LoadAwareDetour policy;
+  Rng rng(17);
+  std::set<uint16_t> seen;
+  for (int i = 0; i < 300; ++i) {
+    seen.insert(*policy.ChoosePort(f.ctx, rng));
+  }
+  EXPECT_GT(seen.size(), 1u);
+}
+
+TEST(FlowBasedDetourTest, ConsistentPerFlow) {
+  ContextFixture f({false, false, false, false});
+  FlowBasedDetour policy;
+  Rng rng(21);
+  const auto first = policy.ChoosePort(f.ctx, rng);
+  ASSERT_TRUE(first.has_value());
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(policy.ChoosePort(f.ctx, rng), first);
+  }
+}
+
+TEST(FlowBasedDetourTest, DifferentFlowsSpread) {
+  ContextFixture f({false, false, false, false});
+  FlowBasedDetour policy;
+  Rng rng(23);
+  std::set<uint16_t> seen;
+  for (FlowId flow = 1; flow <= 64; ++flow) {
+    f.packet.flow = flow;
+    seen.insert(*policy.ChoosePort(f.ctx, rng));
+  }
+  EXPECT_GT(seen.size(), 2u);
+}
+
+TEST(ProbabilisticDetourTest, QueryTrafficNeverDetoursEarly) {
+  ContextFixture f({false, false}, TrafficClass::kQuery);
+  f.ctx.desired_queue_len = 99;
+  ProbabilisticDetour policy(0.5);
+  Rng rng(29);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(policy.ShouldDetourEarly(f.ctx, rng));
+  }
+}
+
+TEST(ProbabilisticDetourTest, BackgroundDetoursEarlyWhenNearlyFull) {
+  ContextFixture f({false, false}, TrafficClass::kBackground);
+  f.ctx.desired_queue_len = 99;
+  ProbabilisticDetour policy(0.5);
+  Rng rng(31);
+  int early = 0;
+  for (int i = 0; i < 500; ++i) {
+    early += policy.ShouldDetourEarly(f.ctx, rng) ? 1 : 0;
+  }
+  EXPECT_GT(early, 400);  // occupancy 0.99 with onset 0.5 -> p ~ 0.98
+}
+
+TEST(ProbabilisticDetourTest, NoEarlyDetourBelowOnset) {
+  ContextFixture f({false, false}, TrafficClass::kBackground);
+  f.ctx.desired_queue_len = 30;
+  ProbabilisticDetour policy(0.8);
+  Rng rng(37);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_FALSE(policy.ShouldDetourEarly(f.ctx, rng));
+  }
+}
+
+TEST(ProbabilisticDetourTest, UnboundedQueueNeverEarly) {
+  ContextFixture f({false, false}, TrafficClass::kBackground);
+  f.ctx.desired_queue_cap = 0;
+  f.ctx.desired_queue_len = 100000;
+  ProbabilisticDetour policy(0.5);
+  Rng rng(41);
+  EXPECT_FALSE(policy.ShouldDetourEarly(f.ctx, rng));
+}
+
+TEST(ProbabilisticDetourTest, ChoosesEligiblePort) {
+  ContextFixture f({false, true, false}, TrafficClass::kBackground);
+  ProbabilisticDetour policy;
+  Rng rng(43);
+  for (int i = 0; i < 200; ++i) {
+    const auto port = policy.ChoosePort(f.ctx, rng);
+    ASSERT_TRUE(port.has_value());
+    EXPECT_TRUE(*port == 2 || *port == 4);
+  }
+}
+
+// Factory behavior and the policy-name round trip.
+class PolicyFactorySweep : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(PolicyFactorySweep, FactoryProducesNamedPolicy) {
+  const std::string name = GetParam();
+  auto policy = MakeDetourPolicy(name);
+  ASSERT_NE(policy, nullptr);
+  EXPECT_EQ(policy->name(), name);
+}
+
+TEST_P(PolicyFactorySweep, AllPoliciesRespectEligibility) {
+  auto policy = MakeDetourPolicy(GetParam());
+  ContextFixture f({true, false, true, false});
+  Rng rng(47);
+  for (int i = 0; i < 100; ++i) {
+    const auto port = policy->ChoosePort(f.ctx, rng);
+    if (!port.has_value()) {
+      continue;  // NoDetour
+    }
+    EXPECT_NE(*port, 0);
+    EXPECT_NE(*port, 1);
+    EXPECT_NE(*port, 2);  // full
+    EXPECT_NE(*port, 4);  // full
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, PolicyFactorySweep,
+                         ::testing::Values("none", "random", "load-aware", "flow-based",
+                                           "probabilistic"));
+
+}  // namespace
+}  // namespace dibs

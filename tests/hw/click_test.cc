@@ -1,0 +1,132 @@
+#include "src/hw/click.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace dibs {
+namespace click {
+namespace {
+
+Packet For(HostId dst) {
+  Packet p;
+  p.dst = dst;
+  p.size_bytes = 1500;
+  return p;
+}
+
+ClickRouter::Options FourPortRouter(bool dibs, size_t capacity = 3) {
+  ClickRouter::Options opts;
+  opts.num_ports = 4;
+  opts.queue_capacity = capacity;
+  // Hosts 0..3 map to ports 0..3; ports 2,3 are switch-facing.
+  opts.switch_facing = {false, false, true, true};
+  opts.dibs_enabled = dibs;
+  opts.route = [](HostId dst) { return static_cast<int>(dst); };
+  return opts;
+}
+
+TEST(QueueElementTest, FifoAndCapacity) {
+  QueueElement q(2);
+  q.Push(0, For(1));
+  q.Push(0, For(2));
+  EXPECT_TRUE(q.full());
+  q.Push(0, For(3));  // dropped
+  EXPECT_EQ(q.drops(), 1u);
+  EXPECT_EQ(q.Pull()->dst, 1);
+  EXPECT_EQ(q.Pull()->dst, 2);
+  EXPECT_FALSE(q.Pull().has_value());
+}
+
+TEST(ClickRouterTest, RoutesByDestination) {
+  ClickRouter router(FourPortRouter(/*dibs=*/true));
+  router.HandlePacket(For(2));
+  router.HandlePacket(For(0));
+  EXPECT_EQ(router.queue(2).size(), 1u);
+  EXPECT_EQ(router.queue(0).size(), 1u);
+  EXPECT_EQ(router.PullFrom(2)->dst, 2);
+}
+
+TEST(ClickRouterTest, DroptailBaselineDropsOnOverflow) {
+  ClickRouter router(FourPortRouter(/*dibs=*/false, /*capacity=*/2));
+  for (int i = 0; i < 10; ++i) {
+    router.HandlePacket(For(0));
+  }
+  EXPECT_EQ(router.queue(0).size(), 2u);
+  EXPECT_EQ(router.detour().drops(), 8u);
+  EXPECT_EQ(router.detour().detours(), 0u);
+}
+
+TEST(ClickRouterTest, DibsDetoursToSwitchFacingQueues) {
+  ClickRouter router(FourPortRouter(/*dibs=*/true, /*capacity=*/2));
+  for (int i = 0; i < 6; ++i) {
+    router.HandlePacket(For(0));
+  }
+  // 2 direct + 4 detoured into ports 2/3 (capacity 2 each).
+  EXPECT_EQ(router.queue(0).size(), 2u);
+  EXPECT_EQ(router.detour().detours(), 4u);
+  EXPECT_EQ(router.detour().drops(), 0u);
+  EXPECT_EQ(router.queue(2).size() + router.queue(3).size(), 4u);
+  // Host-facing port 1 must stay empty.
+  EXPECT_EQ(router.queue(1).size(), 0u);
+}
+
+TEST(ClickRouterTest, DibsDropsWhenAllEligibleFull) {
+  ClickRouter router(FourPortRouter(/*dibs=*/true, /*capacity=*/1));
+  // Fill port 0 (1), then detours fill 2 and 3 (1 each); next packet drops.
+  for (int i = 0; i < 4; ++i) {
+    router.HandlePacket(For(0));
+  }
+  EXPECT_EQ(router.detour().detours(), 2u);
+  EXPECT_EQ(router.detour().drops(), 1u);
+}
+
+TEST(ClickRouterTest, DetouredPacketsCountTheirDetours) {
+  ClickRouter router(FourPortRouter(/*dibs=*/true, /*capacity=*/1));
+  router.HandlePacket(For(0));
+  router.HandlePacket(For(0));  // detoured
+  Packet detoured = [&] {
+    auto p = router.PullFrom(2);
+    if (!p.has_value()) {
+      p = router.PullFrom(3);
+    }
+    return *p;
+  }();
+  EXPECT_EQ(detoured.detour_count, 1u);
+}
+
+TEST(ClickRouterTest, DetourPicksSpreadOverEligiblePorts) {
+  std::set<size_t> nonzero;
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    ClickRouter::Options opts = FourPortRouter(/*dibs=*/true, /*capacity=*/1);
+    opts.seed = seed;
+    ClickRouter router(opts);
+    router.HandlePacket(For(0));
+    router.HandlePacket(For(0));  // one detour
+    if (router.queue(2).size() == 1) {
+      nonzero.insert(2);
+    }
+    if (router.queue(3).size() == 1) {
+      nonzero.insert(3);
+    }
+  }
+  EXPECT_EQ(nonzero.size(), 2u);  // both eligible ports chosen across seeds
+}
+
+TEST(ClickRouterTest, PassThroughWhenQueueHasRoom) {
+  ClickRouter router(FourPortRouter(/*dibs=*/true, /*capacity=*/100));
+  for (int i = 0; i < 50; ++i) {
+    router.HandlePacket(For(1));
+  }
+  EXPECT_EQ(router.queue(1).size(), 50u);
+  EXPECT_EQ(router.detour().detours(), 0u);
+}
+
+TEST(ElementTest, UnwiredOutputIsFatal) {
+  LookupElement lookup(2, [](HostId dst) { return static_cast<int>(dst); });
+  EXPECT_DEATH(lookup.Push(0, For(1)), "unwired");
+}
+
+}  // namespace
+}  // namespace click
+}  // namespace dibs

@@ -1,0 +1,106 @@
+// End-to-end incast behavior: the §5.2 testbed experiment at test scale.
+// Five senders each send simultaneous query responses to one receiver; we
+// compare droptail, DIBS, and infinite buffers — the Figure 6 comparison.
+
+#include <gtest/gtest.h>
+
+#include "src/harness/config.h"
+#include "src/harness/scenario.h"
+#include "tests/transport/transport_test_util.h"
+
+namespace dibs {
+namespace {
+
+struct IncastOutcome {
+  Time max_fct;
+  uint32_t timeouts = 0;
+  uint64_t drops = 0;
+  uint64_t detours = 0;
+  size_t completed = 0;
+};
+
+IncastOutcome RunIncast(const std::string& policy, size_t buffer_packets,
+                        uint32_t dupack_threshold, int flows_per_sender = 10) {
+  NetworkConfig net_cfg;
+  net_cfg.switch_buffer_packets = buffer_packets;
+  net_cfg.ecn_threshold_packets = 20;
+  net_cfg.detour_policy = policy;
+  TcpConfig tcp_cfg;
+  tcp_cfg.dupack_threshold = dupack_threshold;
+  TransportHarness h(BuildEmulabTestbed(), net_cfg, TransportKind::kDctcp, tcp_cfg,
+                     /*seed=*/3);
+  // §5.2: first five servers each send 10 simultaneous 32KB flows to host 5.
+  for (HostId src = 0; src < 5; ++src) {
+    for (int i = 0; i < flows_per_sender; ++i) {
+      h.StartFlow(src, 5, 32000, TrafficClass::kQuery);
+    }
+  }
+  h.Run();
+  IncastOutcome out;
+  out.completed = h.results().size();
+  for (const FlowResult& r : h.results()) {
+    out.max_fct = std::max(out.max_fct, r.fct);
+    out.timeouts += r.timeouts;
+  }
+  out.drops = h.net().total_drops();
+  out.detours = h.net().total_detours();
+  return out;
+}
+
+TEST(IncastTest, DroptailSuffersDropsAndTimeouts) {
+  const IncastOutcome out = RunIncast("none", 100, 3);
+  EXPECT_EQ(out.completed, 50u);
+  EXPECT_GT(out.drops, 0u);
+  EXPECT_GT(out.timeouts, 0u);
+}
+
+TEST(IncastTest, DibsEliminatesDropsAndTimeouts) {
+  const IncastOutcome out = RunIncast("random", 100, /*dupack=*/0);
+  EXPECT_EQ(out.completed, 50u);
+  EXPECT_EQ(out.drops, 0u);
+  EXPECT_EQ(out.timeouts, 0u);
+  EXPECT_GT(out.detours, 0u);
+}
+
+TEST(IncastTest, InfiniteBufferIsLossFree) {
+  const IncastOutcome out = RunIncast("none", /*buffer=*/0, 3);
+  EXPECT_EQ(out.completed, 50u);
+  EXPECT_EQ(out.drops, 0u);
+  EXPECT_EQ(out.timeouts, 0u);
+}
+
+TEST(IncastTest, DibsQctIsNearInfiniteBufferAndBeatsDroptail) {
+  // The Figure 6 result: QCT(dibs) ~ QCT(infinite) << QCT(droptail).
+  const IncastOutcome droptail = RunIncast("none", 100, 3);
+  const IncastOutcome dibs = RunIncast("random", 100, 0);
+  const IncastOutcome infinite = RunIncast("none", 0, 3);
+  EXPECT_LT(dibs.max_fct, droptail.max_fct);
+  // DIBS within 50% of the infinite-buffer ideal (paper: 27ms vs 25ms).
+  EXPECT_LT(dibs.max_fct.ToSeconds(), infinite.max_fct.ToSeconds() * 1.5);
+  // Droptail's tail is dominated by a minRTO (10ms) timeout.
+  EXPECT_GT(droptail.max_fct, Time::Millis(10));
+}
+
+TEST(IncastTest, DibsHandlesHigherIncastDegreeOnFatTree) {
+  NetworkConfig net_cfg;
+  net_cfg.detour_policy = "random";
+  TransportHarness h(BuildPaperFatTree(), net_cfg, TransportKind::kDctcp,
+                     TcpConfig::DibsDefault(), /*seed=*/11);
+  for (HostId src = 1; src <= 40; ++src) {
+    h.StartFlow(src, 0, 20000, TrafficClass::kQuery);
+  }
+  h.Run();
+  EXPECT_EQ(h.results().size(), 40u);
+  EXPECT_EQ(h.net().total_drops(), 0u);
+  EXPECT_GT(h.net().total_detours(), 0u);
+}
+
+TEST(IncastTest, SameSeedSameResult) {
+  const IncastOutcome a = RunIncast("random", 100, 0);
+  const IncastOutcome b = RunIncast("random", 100, 0);
+  EXPECT_EQ(a.max_fct, b.max_fct);
+  EXPECT_EQ(a.detours, b.detours);
+}
+
+}  // namespace
+}  // namespace dibs

@@ -1,0 +1,156 @@
+#include "src/net/droptail_queue.h"
+
+#include <gtest/gtest.h>
+
+namespace dibs {
+namespace {
+
+Packet MakePacket(uint32_t size = 1500, bool ect = false, uint32_t seq = 0) {
+  Packet p;
+  p.size_bytes = size;
+  p.ect = ect;
+  p.seq = seq;
+  return p;
+}
+
+TEST(DropTailQueueTest, FifoOrder) {
+  DropTailQueue q(10);
+  for (uint32_t i = 0; i < 5; ++i) {
+    EXPECT_TRUE(q.Enqueue(MakePacket(1500, false, i)));
+  }
+  for (uint32_t i = 0; i < 5; ++i) {
+    auto p = q.Dequeue();
+    ASSERT_TRUE(p.has_value());
+    EXPECT_EQ(p->seq, i);
+  }
+  EXPECT_FALSE(q.Dequeue().has_value());
+}
+
+TEST(DropTailQueueTest, CapacityEnforced) {
+  DropTailQueue q(3);
+  const Packet probe = MakePacket();
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_FALSE(q.IsFull(probe));
+    EXPECT_TRUE(q.Enqueue(MakePacket()));
+  }
+  EXPECT_TRUE(q.IsFull(probe));
+  EXPECT_FALSE(q.Enqueue(MakePacket()));
+  EXPECT_EQ(q.size_packets(), 3u);
+}
+
+TEST(DropTailQueueTest, DequeueFreesSpace) {
+  DropTailQueue q(1);
+  EXPECT_TRUE(q.Enqueue(MakePacket()));
+  EXPECT_TRUE(q.IsFull(MakePacket()));
+  EXPECT_TRUE(q.Dequeue().has_value());
+  EXPECT_FALSE(q.IsFull(MakePacket()));
+  EXPECT_TRUE(q.Enqueue(MakePacket()));
+}
+
+TEST(DropTailQueueTest, UnboundedNeverFull) {
+  DropTailQueue q(0);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_FALSE(q.IsFull(MakePacket()));
+    EXPECT_TRUE(q.Enqueue(MakePacket()));
+  }
+  EXPECT_EQ(q.size_packets(), 10000u);
+  EXPECT_EQ(q.capacity_packets(), 0u);
+}
+
+TEST(DropTailQueueTest, ByteAccounting) {
+  DropTailQueue q(10);
+  EXPECT_TRUE(q.Enqueue(MakePacket(1500)));
+  EXPECT_TRUE(q.Enqueue(MakePacket(40)));
+  EXPECT_EQ(q.size_bytes(), 1540);
+  q.Dequeue();
+  EXPECT_EQ(q.size_bytes(), 40);
+  q.Dequeue();
+  EXPECT_EQ(q.size_bytes(), 0);
+}
+
+TEST(DropTailQueueTest, EcnMarkingAboveThreshold) {
+  DropTailQueue q(100, /*mark_threshold=*/3);
+  // First 3 packets see queue length 0,1,2 -> unmarked.
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(q.Enqueue(MakePacket(1500, /*ect=*/true)));
+  }
+  // 4th sees length 3 >= K -> marked.
+  ASSERT_TRUE(q.Enqueue(MakePacket(1500, /*ect=*/true)));
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_FALSE(q.Dequeue()->ce);
+  }
+  EXPECT_TRUE(q.Dequeue()->ce);
+}
+
+TEST(DropTailQueueTest, NoMarkingForNonEct) {
+  DropTailQueue q(100, /*mark_threshold=*/1);
+  ASSERT_TRUE(q.Enqueue(MakePacket(1500, /*ect=*/false)));
+  ASSERT_TRUE(q.Enqueue(MakePacket(1500, /*ect=*/false)));
+  EXPECT_FALSE(q.Dequeue()->ce);
+  EXPECT_FALSE(q.Dequeue()->ce);
+}
+
+TEST(DropTailQueueTest, MarkingDisabledWhenThresholdZero) {
+  DropTailQueue q(100, /*mark_threshold=*/0);
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(q.Enqueue(MakePacket(1500, /*ect=*/true)));
+  }
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(q.Dequeue()->ce);
+  }
+}
+
+TEST(DropTailQueueTest, SharedPoolGovernsAdmission) {
+  SharedBufferPool pool(/*capacity_packets=*/4, /*alpha=*/10.0, /*min_reserve=*/1);
+  DropTailQueue a(0, 0, &pool);
+  DropTailQueue b(0, 0, &pool);
+  EXPECT_TRUE(a.Enqueue(MakePacket()));
+  EXPECT_TRUE(a.Enqueue(MakePacket()));
+  EXPECT_TRUE(b.Enqueue(MakePacket()));
+  EXPECT_TRUE(b.Enqueue(MakePacket()));
+  // Pool exhausted: both queues refuse.
+  EXPECT_TRUE(a.IsFull(MakePacket()));
+  EXPECT_TRUE(b.IsFull(MakePacket()));
+  EXPECT_FALSE(a.Enqueue(MakePacket()));
+  // Draining one queue frees pool space for the other.
+  a.Dequeue();
+  EXPECT_FALSE(b.IsFull(MakePacket()));
+  EXPECT_TRUE(b.Enqueue(MakePacket()));
+  EXPECT_EQ(pool.used(), 4u);
+}
+
+// Property sweep: conservation (enqueued == dequeued + rejected) across
+// capacities.
+class DropTailSweep : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(DropTailSweep, Conservation) {
+  const size_t capacity = GetParam();
+  DropTailQueue q(capacity);
+  int accepted = 0;
+  int rejected = 0;
+  for (int i = 0; i < 500; ++i) {
+    if (q.Enqueue(MakePacket())) {
+      ++accepted;
+    } else {
+      ++rejected;
+    }
+    if (i % 3 == 0) {
+      if (q.Dequeue().has_value()) {
+        --accepted;
+      }
+    }
+  }
+  EXPECT_EQ(static_cast<size_t>(accepted), q.size_packets());
+  if (capacity > 0) {
+    EXPECT_LE(q.size_packets(), capacity);
+    EXPECT_GT(rejected, 0);
+  } else {
+    EXPECT_EQ(rejected, 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Capacities, DropTailSweep,
+                         ::testing::Values(0, 1, 5, 25, 100, 200));
+
+}  // namespace
+}  // namespace dibs

@@ -1,0 +1,117 @@
+#include "src/net/pfabric_queue.h"
+
+#include <gtest/gtest.h>
+
+namespace dibs {
+namespace {
+
+Packet MakePacket(int64_t priority, FlowId flow = 1, uint32_t seq = 0) {
+  Packet p;
+  p.size_bytes = 1500;
+  p.priority = priority;
+  p.flow = flow;
+  p.seq = seq;
+  return p;
+}
+
+TEST(PfabricQueueTest, DequeuesHighestPriorityFirst) {
+  PfabricQueue q(24);
+  ASSERT_TRUE(q.Enqueue(MakePacket(30000, /*flow=*/1)));
+  ASSERT_TRUE(q.Enqueue(MakePacket(5000, /*flow=*/2)));
+  ASSERT_TRUE(q.Enqueue(MakePacket(20000, /*flow=*/3)));
+  EXPECT_EQ(q.Dequeue()->flow, 2u);  // lowest remaining size wins
+  EXPECT_EQ(q.Dequeue()->flow, 3u);
+  EXPECT_EQ(q.Dequeue()->flow, 1u);
+}
+
+TEST(PfabricQueueTest, InFlowOrderPreserved) {
+  PfabricQueue q(24);
+  // One flow: later segments carry smaller remaining size (higher priority),
+  // but the queue must release the earliest segment of the winning flow.
+  ASSERT_TRUE(q.Enqueue(MakePacket(30000, /*flow=*/7, /*seq=*/0)));
+  ASSERT_TRUE(q.Enqueue(MakePacket(28500, /*flow=*/7, /*seq=*/1)));
+  ASSERT_TRUE(q.Enqueue(MakePacket(27000, /*flow=*/7, /*seq=*/2)));
+  EXPECT_EQ(q.Dequeue()->seq, 0u);
+  EXPECT_EQ(q.Dequeue()->seq, 1u);
+  EXPECT_EQ(q.Dequeue()->seq, 2u);
+}
+
+TEST(PfabricQueueTest, FullQueueEvictsLowestPriority) {
+  PfabricQueue q(3);
+  ASSERT_TRUE(q.Enqueue(MakePacket(1000, 1)));
+  ASSERT_TRUE(q.Enqueue(MakePacket(9000, 2)));
+  ASSERT_TRUE(q.Enqueue(MakePacket(5000, 3)));
+  // Higher priority (smaller) than the worst buffered (9000): evict it.
+  EXPECT_TRUE(q.Enqueue(MakePacket(2000, 4)));
+  EXPECT_EQ(q.size_packets(), 3u);
+  EXPECT_EQ(q.evictions(), 1u);
+  // Flow 2's packet is gone.
+  EXPECT_EQ(q.Dequeue()->flow, 1u);
+  EXPECT_EQ(q.Dequeue()->flow, 4u);
+  EXPECT_EQ(q.Dequeue()->flow, 3u);
+}
+
+TEST(PfabricQueueTest, FullQueueRejectsLowerPriorityArrival) {
+  PfabricQueue q(2);
+  ASSERT_TRUE(q.Enqueue(MakePacket(1000, 1)));
+  ASSERT_TRUE(q.Enqueue(MakePacket(2000, 2)));
+  EXPECT_TRUE(q.IsFull(MakePacket(3000, 3)));
+  EXPECT_FALSE(q.Enqueue(MakePacket(3000, 3)));
+  EXPECT_EQ(q.evictions(), 1u);  // the arriving packet was the loser
+  EXPECT_EQ(q.size_packets(), 2u);
+}
+
+TEST(PfabricQueueTest, IsFullFalseWhenArrivalWouldWin) {
+  PfabricQueue q(2);
+  ASSERT_TRUE(q.Enqueue(MakePacket(5000, 1)));
+  ASSERT_TRUE(q.Enqueue(MakePacket(6000, 2)));
+  EXPECT_FALSE(q.IsFull(MakePacket(1000, 3)));
+}
+
+TEST(PfabricQueueTest, EqualPriorityTieArrivalLoses) {
+  PfabricQueue q(1);
+  ASSERT_TRUE(q.Enqueue(MakePacket(1000, 1)));
+  EXPECT_FALSE(q.Enqueue(MakePacket(1000, 2)));  // p.priority >= worst -> reject
+  EXPECT_EQ(q.Dequeue()->flow, 1u);
+}
+
+TEST(PfabricQueueTest, ByteAccountingThroughEviction) {
+  PfabricQueue q(2);
+  ASSERT_TRUE(q.Enqueue(MakePacket(1000, 1)));
+  ASSERT_TRUE(q.Enqueue(MakePacket(9000, 2)));
+  EXPECT_EQ(q.size_bytes(), 3000);
+  ASSERT_TRUE(q.Enqueue(MakePacket(500, 3)));  // evicts flow 2
+  EXPECT_EQ(q.size_bytes(), 3000);
+  q.Dequeue();
+  q.Dequeue();
+  EXPECT_EQ(q.size_bytes(), 0);
+}
+
+TEST(PfabricQueueTest, EmptyDequeue) {
+  PfabricQueue q(24);
+  EXPECT_FALSE(q.Dequeue().has_value());
+  EXPECT_EQ(q.size_packets(), 0u);
+}
+
+// Property: for any mix, total enqueued == dequeued + evicted (arrival
+// rejections count as evictions in our accounting).
+TEST(PfabricQueueTest, ConservationUnderChurn) {
+  PfabricQueue q(24);
+  uint64_t attempted = 0;
+  uint64_t dequeued = 0;
+  uint64_t prio = 1;
+  for (int round = 0; round < 50; ++round) {
+    for (int i = 0; i < 40; ++i) {
+      q.Enqueue(MakePacket(static_cast<int64_t>((prio = prio * 2654435761 % 100000) + 1),
+                           /*flow=*/static_cast<FlowId>(i)));
+      ++attempted;
+    }
+    while (q.Dequeue().has_value()) {
+      ++dequeued;
+    }
+  }
+  EXPECT_EQ(attempted, dequeued + q.evictions());
+}
+
+}  // namespace
+}  // namespace dibs

@@ -1,0 +1,64 @@
+#include "src/net/shared_buffer.h"
+
+#include <gtest/gtest.h>
+
+namespace dibs {
+namespace {
+
+TEST(SharedBufferPoolTest, AdmitsUntilCapacity) {
+  SharedBufferPool pool(10, /*alpha=*/100.0, /*min_reserve=*/0);
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(pool.MayAdmit(0));
+    pool.OnEnqueue();
+  }
+  EXPECT_FALSE(pool.MayAdmit(0));
+  EXPECT_EQ(pool.free_slots(), 0u);
+}
+
+TEST(SharedBufferPoolTest, DynamicThresholdShrinksWithUsage) {
+  // alpha=1: a queue may hold at most (free slots) packets.
+  SharedBufferPool pool(100, /*alpha=*/1.0, /*min_reserve=*/0);
+  // Fill 60 slots from "other ports".
+  for (int i = 0; i < 60; ++i) {
+    pool.OnEnqueue();
+  }
+  // Free = 40: a queue with 39 packets may admit, one with 40 may not.
+  EXPECT_TRUE(pool.MayAdmit(39));
+  EXPECT_FALSE(pool.MayAdmit(40));
+  EXPECT_FALSE(pool.MayAdmit(90));
+}
+
+TEST(SharedBufferPoolTest, MinReserveAlwaysAdmits) {
+  SharedBufferPool pool(100, /*alpha=*/0.001, /*min_reserve=*/2);
+  for (int i = 0; i < 50; ++i) {
+    pool.OnEnqueue();
+  }
+  // Threshold is tiny, but queues below the reserve still get slots.
+  EXPECT_TRUE(pool.MayAdmit(0));
+  EXPECT_TRUE(pool.MayAdmit(1));
+  EXPECT_FALSE(pool.MayAdmit(2));
+}
+
+TEST(SharedBufferPoolTest, DequeueRestoresHeadroom) {
+  SharedBufferPool pool(4, /*alpha=*/10.0);
+  for (int i = 0; i < 4; ++i) {
+    pool.OnEnqueue();
+  }
+  EXPECT_FALSE(pool.MayAdmit(0));
+  pool.OnDequeue();
+  EXPECT_TRUE(pool.MayAdmit(0));
+  EXPECT_EQ(pool.used(), 3u);
+}
+
+TEST(SharedBufferPoolTest, AlphaScalesFairShare) {
+  // With alpha = 0.5 and 80 free slots, the per-queue cap is 40.
+  SharedBufferPool pool(100, /*alpha=*/0.5, /*min_reserve=*/0);
+  for (int i = 0; i < 20; ++i) {
+    pool.OnEnqueue();
+  }
+  EXPECT_TRUE(pool.MayAdmit(39));
+  EXPECT_FALSE(pool.MayAdmit(40));
+}
+
+}  // namespace
+}  // namespace dibs

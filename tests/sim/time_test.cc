@@ -1,0 +1,93 @@
+#include "src/sim/time.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace dibs {
+namespace {
+
+TEST(TimeTest, Factories) {
+  EXPECT_EQ(Time::Nanos(1).nanos(), 1);
+  EXPECT_EQ(Time::Micros(1).nanos(), 1000);
+  EXPECT_EQ(Time::Millis(1).nanos(), 1000000);
+  EXPECT_EQ(Time::Seconds(1).nanos(), 1000000000);
+  EXPECT_EQ(Time::Zero().nanos(), 0);
+}
+
+TEST(TimeTest, FromSecondsRounds) {
+  EXPECT_EQ(Time::FromSeconds(1.5).nanos(), 1500000000);
+  EXPECT_EQ(Time::FromSeconds(0.0000000014).nanos(), 1);  // rounds to nearest ns
+}
+
+TEST(TimeTest, Conversions) {
+  const Time t = Time::Millis(1500);
+  EXPECT_DOUBLE_EQ(t.ToSeconds(), 1.5);
+  EXPECT_DOUBLE_EQ(t.ToMillis(), 1500.0);
+  EXPECT_DOUBLE_EQ(t.ToMicros(), 1500000.0);
+}
+
+TEST(TimeTest, Arithmetic) {
+  const Time a = Time::Micros(10);
+  const Time b = Time::Micros(3);
+  EXPECT_EQ((a + b).nanos(), 13000);
+  EXPECT_EQ((a - b).nanos(), 7000);
+  EXPECT_EQ((a * 3).nanos(), 30000);
+  EXPECT_EQ((3 * a).nanos(), 30000);
+  EXPECT_EQ((a / 2).nanos(), 5000);
+  EXPECT_EQ(a / b, 3);
+}
+
+TEST(TimeTest, CompoundAssignment) {
+  Time t = Time::Micros(5);
+  t += Time::Micros(2);
+  EXPECT_EQ(t, Time::Micros(7));
+  t -= Time::Micros(7);
+  EXPECT_TRUE(t.IsZero());
+}
+
+TEST(TimeTest, Comparison) {
+  EXPECT_LT(Time::Micros(1), Time::Micros(2));
+  EXPECT_GT(Time::Millis(1), Time::Micros(999));
+  EXPECT_EQ(Time::Millis(1), Time::Micros(1000));
+  EXPECT_LE(Time::Zero(), Time::Zero());
+}
+
+TEST(TimeTest, Streaming) {
+  std::ostringstream os;
+  os << Time::Millis(3);
+  EXPECT_EQ(os.str(), "3ms");
+  os.str("");
+  os << Time::Nanos(500);
+  EXPECT_EQ(os.str(), "500ns");
+  os.str("");
+  os << Time::Seconds(2);
+  EXPECT_EQ(os.str(), "2s");
+}
+
+TEST(SerializationDelayTest, FullMtuAtOneGbps) {
+  // 1500B * 8 / 1e9 = 12us.
+  EXPECT_EQ(SerializationDelay(1500, 1000000000), Time::Micros(12));
+}
+
+TEST(SerializationDelayTest, AckAtOneGbps) {
+  EXPECT_EQ(SerializationDelay(40, 1000000000).nanos(), 320);
+}
+
+TEST(SerializationDelayTest, SlowLink) {
+  // 1500B at 10Mbps = 1.2ms.
+  EXPECT_EQ(SerializationDelay(1500, 10000000), Time::Micros(1200));
+}
+
+TEST(SerializationDelayTest, ZeroBytes) {
+  EXPECT_EQ(SerializationDelay(0, 1000000000), Time::Zero());
+}
+
+TEST(SerializationDelayTest, HugeTransferDoesNotOverflow) {
+  // 1TB at 1Gbps = 8000 seconds.
+  const Time t = SerializationDelay(1000000000000LL, 1000000000);
+  EXPECT_EQ(t, Time::Seconds(8000));
+}
+
+}  // namespace
+}  // namespace dibs

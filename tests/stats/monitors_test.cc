@@ -1,0 +1,188 @@
+#include <gtest/gtest.h>
+
+#include "src/device/host_node.h"
+#include "src/stats/buffer_monitor.h"
+#include "src/stats/link_monitor.h"
+#include "src/topo/builders.h"
+
+namespace dibs {
+namespace {
+
+void Blast(Network& net, HostId src, HostId dst, int packets, FlowId flow = 1) {
+  for (int i = 0; i < packets; ++i) {
+    Packet p;
+    p.uid = net.NextPacketUid();
+    p.src = src;
+    p.dst = dst;
+    p.size_bytes = 1500;
+    p.ttl = 255;
+    p.flow = flow;
+    net.host(src).Send(std::move(p));
+  }
+}
+
+TEST(LinkMonitorTest, IdleNetworkHasNoHotLinks) {
+  Simulator sim;
+  Network net(&sim, BuildEmulabTestbed(), NetworkConfig{});
+  LinkMonitor::Options opts;
+  opts.interval = Time::Millis(1);
+  opts.stop_time = Time::Millis(10);
+  LinkMonitor monitor(&net, opts);
+  monitor.Start();
+  sim.RunUntil(Time::Millis(10));
+  ASSERT_FALSE(monitor.hot_fractions().empty());
+  for (double f : monitor.hot_fractions()) {
+    EXPECT_EQ(f, 0.0);
+  }
+}
+
+TEST(LinkMonitorTest, SaturatedLinkIsHot) {
+  Simulator sim;
+  Network net(&sim, BuildEmulabTestbed(), NetworkConfig{});
+  LinkMonitor::Options opts;
+  opts.interval = Time::Millis(1);
+  opts.hot_threshold = 0.9;
+  opts.stop_time = Time::Millis(4);
+  LinkMonitor monitor(&net, opts);
+  monitor.Start();
+  // 1000 packets back-to-back saturate host0 -> edge for 12ms.
+  Blast(net, 0, 5, 1000);
+  sim.RunUntil(Time::Millis(4));
+  bool any_hot_sample = false;
+  for (double f : monitor.hot_fractions()) {
+    if (f > 0.0) {
+      any_hot_sample = true;
+    }
+    // Only a handful of the 22 directed links carry this one path.
+    EXPECT_LT(f, 0.5);
+  }
+  EXPECT_TRUE(any_hot_sample);
+}
+
+TEST(LinkMonitorTest, HotLinkIndicesIdentifyOwners) {
+  Simulator sim;
+  Network net(&sim, BuildEmulabTestbed(), NetworkConfig{});
+  LinkMonitor::Options opts;
+  opts.interval = Time::Millis(1);
+  opts.stop_time = Time::Millis(2);
+  LinkMonitor monitor(&net, opts);
+  monitor.Start();
+  Blast(net, 0, 5, 500);
+  sim.RunUntil(Time::Millis(2));
+  for (size_t idx : monitor.last_hot_links()) {
+    EXPECT_LT(idx, monitor.num_monitored_links());
+    EXPECT_GE(monitor.port_owner(idx), 0);
+  }
+}
+
+TEST(LinkMonitorTest, RelativeHotFractionsBounded) {
+  Simulator sim;
+  Network net(&sim, BuildEmulabTestbed(), NetworkConfig{});
+  LinkMonitor::Options opts;
+  opts.interval = Time::Millis(1);
+  opts.stop_time = Time::Millis(5);
+  LinkMonitor monitor(&net, opts);
+  monitor.Start();
+  Blast(net, 0, 5, 200);
+  sim.RunUntil(Time::Millis(5));
+  for (double f : monitor.relative_hot_fractions()) {
+    EXPECT_GE(f, 0.0);
+    EXPECT_LE(f, 1.0);
+  }
+}
+
+TEST(LinkMonitorTest, HostLinksCanBeExcluded) {
+  Simulator sim;
+  Network net(&sim, BuildEmulabTestbed(), NetworkConfig{});
+  LinkMonitor::Options with_hosts;
+  with_hosts.stop_time = Time::Millis(1);
+  LinkMonitor all(&net, with_hosts);
+  LinkMonitor::Options switch_only = with_hosts;
+  switch_only.include_host_links = false;
+  LinkMonitor fabric(&net, switch_only);
+  // Emulab: 6 switch-switch links = 12 directed fabric ports; 6 host links
+  // add 6 switch-side ports + 6 NICs.
+  EXPECT_EQ(fabric.num_monitored_links(), 12u);
+  EXPECT_EQ(all.num_monitored_links(), 24u);
+}
+
+TEST(BufferMonitorTest, QuietNetworkReportsNoCongestion) {
+  Simulator sim;
+  Network net(&sim, BuildEmulabTestbed(), NetworkConfig{});
+  BufferMonitor::Options opts;
+  opts.interval = Time::Millis(1);
+  opts.stop_time = Time::Millis(5);
+  BufferMonitor monitor(&net, opts);
+  monitor.Start();
+  sim.RunUntil(Time::Millis(5));
+  EXPECT_EQ(monitor.congested_samples(), 0u);
+  EXPECT_TRUE(monitor.one_hop_free_fractions().empty());
+  EXPECT_GT(monitor.total_samples(), 0u);
+}
+
+TEST(BufferMonitorTest, IncastCongestionYieldsNeighborSamples) {
+  NetworkConfig cfg;
+  cfg.switch_buffer_packets = 20;
+  Simulator sim;
+  Network net(&sim, BuildEmulabTestbed(), cfg);
+  BufferMonitor::Options opts;
+  opts.interval = Time::Micros(100);
+  opts.congested_fraction = 0.9;
+  opts.stop_time = Time::Millis(5);
+  BufferMonitor monitor(&net, opts);
+  monitor.Start();
+  for (HostId src = 0; src < 5; ++src) {
+    Blast(net, src, 5, 60, /*flow=*/static_cast<FlowId>(src + 1));
+  }
+  sim.RunUntil(Time::Millis(5));
+  EXPECT_GT(monitor.congested_samples(), 0u);
+  ASSERT_FALSE(monitor.one_hop_free_fractions().empty());
+  ASSERT_EQ(monitor.one_hop_free_fractions().size(), monitor.two_hop_free_fractions().size());
+  for (size_t i = 0; i < monitor.one_hop_free_fractions().size(); ++i) {
+    const double one = monitor.one_hop_free_fractions()[i];
+    const double two = monitor.two_hop_free_fractions()[i];
+    EXPECT_GE(one, 0.0);
+    EXPECT_LE(one, 1.0);
+    EXPECT_GE(two, 0.0);
+    EXPECT_LE(two, 1.0);
+  }
+  // The paper's key observation (Fig 5): even near congestion, most
+  // neighboring buffer space is free.
+  double min_two_hop = 1.0;
+  for (double f : monitor.two_hop_free_fractions()) {
+    min_two_hop = std::min(min_two_hop, f);
+  }
+  EXPECT_GT(min_two_hop, 0.3);
+}
+
+TEST(BufferMonitorTest, SnapshotsCaptureQueueLengths) {
+  NetworkConfig cfg;
+  cfg.switch_buffer_packets = 50;
+  Simulator sim;
+  Network net(&sim, BuildEmulabTestbed(), cfg);
+  BufferMonitor::Options opts;
+  opts.interval = Time::Micros(200);
+  // Snapshot host 5's edge switch (built last) plus an aggregation switch.
+  opts.snapshot_switches = {net.switch_ids()[4], net.switch_ids()[0]};
+  opts.stop_time = Time::Millis(2);
+  BufferMonitor monitor(&net, opts);
+  monitor.Start();
+  // Two racks converge on host 5: its edge downlink queue must build.
+  Blast(net, 0, 5, 100, /*flow=*/1);
+  Blast(net, 2, 5, 100, /*flow=*/2);
+  sim.RunUntil(Time::Millis(2));
+  ASSERT_FALSE(monitor.snapshots().empty());
+  bool any_nonzero = false;
+  for (const auto& snap : monitor.snapshots()) {
+    ASSERT_EQ(snap.queue_lengths.size(), 2u);
+    for (const auto& per_port : snap.queue_lengths) {
+      for (size_t q : per_port) {
+        any_nonzero |= q > 0;
+      }
+    }
+  }
+  EXPECT_TRUE(any_nonzero);
+}
+
+}  // namespace
+}  // namespace dibs

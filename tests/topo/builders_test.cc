@@ -1,0 +1,161 @@
+#include "src/topo/builders.h"
+
+#include <gtest/gtest.h>
+
+namespace dibs {
+namespace {
+
+// Parameterized over K: fat-tree structural invariants.
+class FatTreeSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(FatTreeSweep, StructuralInvariants) {
+  const int k = GetParam();
+  FatTreeOptions opts;
+  opts.k = k;
+  const Topology t = BuildFatTree(opts);
+
+  EXPECT_EQ(t.num_hosts(), k * k * k / 4);
+  // Switches: k pods * k switches + (k/2)^2 cores.
+  EXPECT_EQ(t.num_switches(), k * k + (k / 2) * (k / 2));
+  // Every switch has exactly k ports; every host exactly 1.
+  int edges = 0;
+  int aggrs = 0;
+  int cores = 0;
+  for (const TopoNode& n : t.nodes()) {
+    if (n.kind == NodeKind::kHost) {
+      EXPECT_EQ(t.ports(n.id).size(), 1u);
+      continue;
+    }
+    EXPECT_EQ(t.ports(n.id).size(), static_cast<size_t>(k)) << n.name;
+    edges += n.kind == NodeKind::kEdge ? 1 : 0;
+    aggrs += n.kind == NodeKind::kAggregation ? 1 : 0;
+    cores += n.kind == NodeKind::kCore ? 1 : 0;
+  }
+  EXPECT_EQ(edges, k * k / 2);
+  EXPECT_EQ(aggrs, k * k / 2);
+  EXPECT_EQ(cores, k * k / 4);
+}
+
+TEST_P(FatTreeSweep, DiameterIsSixHostHops) {
+  FatTreeOptions opts;
+  opts.k = GetParam();
+  // host-edge-aggr-core-aggr-edge-host = 6 links.
+  EXPECT_EQ(BuildFatTree(opts).HostDiameter(), 6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, FatTreeSweep, ::testing::Values(2, 4, 6, 8));
+
+TEST(FatTreeTest, PaperFatTreeIs128Hosts) {
+  const Topology t = BuildPaperFatTree();
+  EXPECT_EQ(t.num_hosts(), 128);
+  EXPECT_EQ(t.num_switches(), 80);
+}
+
+TEST(FatTreeTest, OversubscriptionLowersFabricRates) {
+  FatTreeOptions opts;
+  opts.k = 4;
+  opts.oversubscription = 4.0;
+  const Topology t = BuildFatTree(opts);
+  for (const TopoLink& l : t.links()) {
+    const bool host_link = t.node(l.node_a).kind == NodeKind::kHost ||
+                           t.node(l.node_b).kind == NodeKind::kHost;
+    if (host_link) {
+      EXPECT_EQ(l.rate_bps, opts.host_rate_bps);
+    } else {
+      EXPECT_EQ(l.rate_bps, opts.host_rate_bps / 4);
+    }
+  }
+}
+
+TEST(FatTreeTest, PodAssignments) {
+  FatTreeOptions opts;
+  opts.k = 4;
+  const Topology t = BuildFatTree(opts);
+  for (const TopoNode& n : t.nodes()) {
+    if (n.kind == NodeKind::kCore) {
+      EXPECT_EQ(n.pod, -1);
+    } else {
+      EXPECT_GE(n.pod, 0);
+      EXPECT_LT(n.pod, 4);
+    }
+  }
+}
+
+TEST(EmulabTest, MatchesPaperTestbed) {
+  const Topology t = BuildEmulabTestbed();
+  EXPECT_EQ(t.num_hosts(), 6);
+  EXPECT_EQ(t.num_switches(), 5);
+  int edge_count = 0;
+  for (const TopoNode& n : t.nodes()) {
+    if (n.kind == NodeKind::kEdge) {
+      ++edge_count;
+      // 2 hosts + 2 aggregation uplinks.
+      EXPECT_EQ(t.ports(n.id).size(), 4u);
+    }
+    if (n.kind == NodeKind::kAggregation) {
+      EXPECT_EQ(t.ports(n.id).size(), 3u);
+    }
+  }
+  EXPECT_EQ(edge_count, 3);
+  // host-edge-aggr-edge-host = 4.
+  EXPECT_EQ(t.HostDiameter(), 4);
+}
+
+TEST(LeafSpineTest, Structure) {
+  LeafSpineOptions opts;
+  opts.leaves = 3;
+  opts.spines = 2;
+  opts.hosts_per_leaf = 4;
+  const Topology t = BuildLeafSpine(opts);
+  EXPECT_EQ(t.num_hosts(), 12);
+  EXPECT_EQ(t.num_switches(), 5);
+  EXPECT_EQ(t.HostDiameter(), 4);
+}
+
+TEST(LinearTest, Structure) {
+  const Topology t = BuildLinear(4, 2);
+  EXPECT_EQ(t.num_hosts(), 8);
+  EXPECT_EQ(t.num_switches(), 4);
+  // End-to-end: host + 3 switch hops + host.
+  EXPECT_EQ(t.HostDiameter(), 5);
+}
+
+TEST(JellyFishTest, RegularAndConnected) {
+  JellyFishOptions opts;
+  opts.switches = 12;
+  opts.degree = 4;
+  opts.hosts_per_switch = 2;
+  const Topology t = BuildJellyFish(opts);
+  EXPECT_EQ(t.num_hosts(), 24);
+  EXPECT_EQ(t.num_switches(), 12);
+  for (const TopoNode& n : t.nodes()) {
+    if (IsSwitchKind(n.kind)) {
+      EXPECT_EQ(t.ports(n.id).size(), static_cast<size_t>(opts.degree + opts.hosts_per_switch));
+    }
+  }
+  // Connectivity: BFS from switch 0 reaches every node.
+  const auto dist = t.BfsDistances(0);
+  for (int d : dist) {
+    EXPECT_GE(d, 0);
+  }
+}
+
+TEST(JellyFishTest, SeedsGiveDifferentWirings) {
+  JellyFishOptions a;
+  a.seed = 1;
+  JellyFishOptions b;
+  b.seed = 2;
+  const Topology ta = BuildJellyFish(a);
+  const Topology tb = BuildJellyFish(b);
+  bool any_difference = false;
+  for (int i = 0; i < ta.num_links() && i < tb.num_links(); ++i) {
+    if (ta.link(i).node_a != tb.link(i).node_a || ta.link(i).node_b != tb.link(i).node_b) {
+      any_difference = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+}  // namespace
+}  // namespace dibs

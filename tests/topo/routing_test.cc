@@ -1,0 +1,155 @@
+#include "src/topo/routing.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/topo/builders.h"
+
+namespace dibs {
+namespace {
+
+TEST(FibTest, NextHopsShortenDistance) {
+  const Topology t = BuildPaperFatTree();
+  const Fib fib = Fib::Compute(t);
+  for (HostId dst = 0; dst < t.num_hosts(); dst += 17) {
+    for (int n = 0; n < t.num_nodes(); ++n) {
+      if (n == t.host_node(dst)) {
+        continue;
+      }
+      const int d = fib.Distance(n, dst);
+      ASSERT_GT(d, 0);
+      for (uint16_t port : fib.NextHopPorts(n, dst)) {
+        const int neighbor = t.ports(n)[port].neighbor;
+        EXPECT_EQ(fib.Distance(neighbor, dst), d - 1);
+      }
+    }
+  }
+}
+
+TEST(FibTest, EveryNodeHasARouteToEveryHost) {
+  for (int k : {4, 8}) {
+    FatTreeOptions opts;
+    opts.k = k;
+    const Topology t = BuildFatTree(opts);
+    const Fib fib = Fib::Compute(t);
+    for (HostId dst = 0; dst < t.num_hosts(); ++dst) {
+      for (int n = 0; n < t.num_nodes(); ++n) {
+        if (n == t.host_node(dst)) {
+          continue;
+        }
+        EXPECT_FALSE(fib.NextHopPorts(n, dst).empty())
+            << "node " << n << " has no route to host " << dst;
+      }
+    }
+  }
+}
+
+TEST(FibTest, FatTreeEcmpWidths) {
+  // In a K-ary fat-tree, an edge switch has K/2 equal-cost uplinks toward a
+  // host in a different pod, and exactly 1 next hop toward a local host.
+  const int k = 8;
+  FatTreeOptions opts;
+  opts.k = k;
+  const Topology t = BuildFatTree(opts);
+  const Fib fib = Fib::Compute(t);
+
+  // Host 0's edge switch is the first edge node in pod 0.
+  const int host0_node = t.host_node(0);
+  const int edge = t.ports(host0_node)[0].neighbor;
+  ASSERT_EQ(t.node(edge).kind, NodeKind::kEdge);
+
+  // Local host: single port, leading straight to the host.
+  EXPECT_EQ(fib.NextHopPorts(edge, 0).size(), 1u);
+  // Remote pod host (last host): K/2 uplinks.
+  const HostId remote = static_cast<HostId>(t.num_hosts() - 1);
+  EXPECT_EQ(fib.NextHopPorts(edge, remote).size(), static_cast<size_t>(k / 2));
+}
+
+TEST(FibTest, CoreHasSingleDownPathPerHost) {
+  const Topology t = BuildPaperFatTree();
+  const Fib fib = Fib::Compute(t);
+  for (int n = 0; n < t.num_nodes(); ++n) {
+    if (t.node(n).kind != NodeKind::kCore) {
+      continue;
+    }
+    for (HostId dst = 0; dst < t.num_hosts(); dst += 13) {
+      EXPECT_EQ(fib.NextHopPorts(n, dst).size(), 1u);
+    }
+  }
+}
+
+TEST(FibTest, RoutesNeverTraverseHosts) {
+  const Topology t = BuildEmulabTestbed();
+  const Fib fib = Fib::Compute(t);
+  for (HostId dst = 0; dst < t.num_hosts(); ++dst) {
+    for (int n = 0; n < t.num_nodes(); ++n) {
+      if (!IsSwitchKind(t.node(n).kind)) {
+        continue;
+      }
+      for (uint16_t port : fib.NextHopPorts(n, dst)) {
+        const int neighbor = t.ports(n)[port].neighbor;
+        // A switch's next hop may be a host only if it IS the destination.
+        if (!IsSwitchKind(t.node(neighbor).kind)) {
+          EXPECT_EQ(t.node(neighbor).host_id, dst);
+        }
+      }
+    }
+  }
+}
+
+TEST(FibTest, EcmpPortIsStablePerFlow) {
+  const Topology t = BuildPaperFatTree();
+  const Fib fib = Fib::Compute(t);
+  const int host0_node = t.host_node(0);
+  const int edge = t.ports(host0_node)[0].neighbor;
+  const HostId remote = static_cast<HostId>(t.num_hosts() - 1);
+  for (FlowId flow = 1; flow < 50; ++flow) {
+    const uint16_t first = fib.EcmpPort(edge, remote, flow);
+    for (int i = 0; i < 10; ++i) {
+      EXPECT_EQ(fib.EcmpPort(edge, remote, flow), first);
+    }
+  }
+}
+
+TEST(FibTest, EcmpSpreadsFlows) {
+  const Topology t = BuildPaperFatTree();
+  const Fib fib = Fib::Compute(t);
+  const int host0_node = t.host_node(0);
+  const int edge = t.ports(host0_node)[0].neighbor;
+  const HostId remote = static_cast<HostId>(t.num_hosts() - 1);
+  std::set<uint16_t> ports_used;
+  for (FlowId flow = 1; flow < 200; ++flow) {
+    ports_used.insert(fib.EcmpPort(edge, remote, flow));
+  }
+  // 4 equal-cost uplinks; 200 flows should hit all of them.
+  EXPECT_EQ(ports_used.size(), 4u);
+}
+
+TEST(FibTest, EcmpPicksOnlyFromNextHopSet) {
+  const Topology t = BuildPaperFatTree();
+  const Fib fib = Fib::Compute(t);
+  for (int n = 0; n < t.num_nodes(); n += 7) {
+    if (!IsSwitchKind(t.node(n).kind)) {
+      continue;
+    }
+    for (HostId dst = 0; dst < t.num_hosts(); dst += 31) {
+      const auto& set = fib.NextHopPorts(n, dst);
+      for (FlowId flow = 1; flow < 20; ++flow) {
+        const uint16_t port = fib.EcmpPort(n, dst, flow);
+        EXPECT_NE(std::find(set.begin(), set.end(), port), set.end());
+      }
+    }
+  }
+}
+
+TEST(FibTest, LinearTopologyRoutesAlongChain) {
+  const Topology t = BuildLinear(5, 1);
+  const Fib fib = Fib::Compute(t);
+  // Switch 0 to host at switch 4: distance 5 (4 switch hops + host link).
+  EXPECT_EQ(fib.Distance(0, 4), 5);
+  EXPECT_EQ(fib.NextHopPorts(0, 4).size(), 1u);
+}
+
+}  // namespace
+}  // namespace dibs

@@ -1,0 +1,100 @@
+#include "src/topo/topology.h"
+
+#include <gtest/gtest.h>
+
+namespace dibs {
+namespace {
+
+Topology Triangle() {
+  // Three switches in a triangle, one host per switch.
+  Topology t;
+  const int s0 = t.AddNode(NodeKind::kSwitch, "s0");
+  const int s1 = t.AddNode(NodeKind::kSwitch, "s1");
+  const int s2 = t.AddNode(NodeKind::kSwitch, "s2");
+  t.AddLink(s0, s1, 1000000000, Time::Micros(1));
+  t.AddLink(s1, s2, 1000000000, Time::Micros(1));
+  t.AddLink(s2, s0, 1000000000, Time::Micros(1));
+  for (int s : {s0, s1, s2}) {
+    const int h = t.AddHost("h" + std::to_string(s));
+    t.AddLink(h, s, 1000000000, Time::Micros(1));
+  }
+  return t;
+}
+
+TEST(TopologyTest, NodeAndHostCounts) {
+  const Topology t = Triangle();
+  EXPECT_EQ(t.num_nodes(), 6);
+  EXPECT_EQ(t.num_hosts(), 3);
+  EXPECT_EQ(t.num_switches(), 3);
+  EXPECT_EQ(t.num_links(), 6);
+}
+
+TEST(TopologyTest, HostIdsAreDense) {
+  const Topology t = Triangle();
+  for (HostId h = 0; h < t.num_hosts(); ++h) {
+    const int node = t.host_node(h);
+    EXPECT_EQ(t.node(node).host_id, h);
+    EXPECT_EQ(t.node(node).kind, NodeKind::kHost);
+  }
+}
+
+TEST(TopologyTest, PortsMatchAdjacency) {
+  const Topology t = Triangle();
+  // Each switch: 2 switch links + 1 host link.
+  for (int n = 0; n < 3; ++n) {
+    EXPECT_EQ(t.ports(n).size(), 3u);
+  }
+  // Each host: exactly one port.
+  for (HostId h = 0; h < t.num_hosts(); ++h) {
+    EXPECT_EQ(t.ports(t.host_node(h)).size(), 1u);
+  }
+}
+
+TEST(TopologyTest, PeerResolvesBothEndpoints) {
+  const Topology t = Triangle();
+  const TopoLink& l = t.link(0);
+  EXPECT_EQ(t.Peer(0, l.node_a), l.node_b);
+  EXPECT_EQ(t.Peer(0, l.node_b), l.node_a);
+}
+
+TEST(TopologyTest, BfsDistances) {
+  const Topology t = Triangle();
+  const auto dist = t.BfsDistances(0);
+  EXPECT_EQ(dist[0], 0);
+  EXPECT_EQ(dist[1], 1);
+  EXPECT_EQ(dist[2], 1);
+}
+
+TEST(TopologyTest, HostDiameterOfTriangle) {
+  // host -> switch -> switch -> host = 3 hops.
+  EXPECT_EQ(Triangle().HostDiameter(), 3);
+}
+
+TEST(TopologyTest, SwitchNeighborhoodExcludesCenterAndHosts) {
+  const Topology t = Triangle();
+  const auto n1 = t.SwitchNeighborhood(0, 1);
+  EXPECT_EQ(n1.size(), 2u);
+  for (int sw : n1) {
+    EXPECT_NE(sw, 0);
+    EXPECT_TRUE(IsSwitchKind(t.node(sw).kind));
+  }
+}
+
+TEST(TopologyTest, SwitchNeighborhoodRadiusGrows) {
+  // Chain of 5 switches.
+  Topology t;
+  int prev = t.AddNode(NodeKind::kSwitch, "s0");
+  for (int i = 1; i < 5; ++i) {
+    const int cur = t.AddNode(NodeKind::kSwitch, "s" + std::to_string(i));
+    t.AddLink(prev, cur, 1000000000, Time::Micros(1));
+    prev = cur;
+  }
+  EXPECT_EQ(t.SwitchNeighborhood(0, 1).size(), 1u);
+  EXPECT_EQ(t.SwitchNeighborhood(0, 2).size(), 2u);
+  EXPECT_EQ(t.SwitchNeighborhood(0, 4).size(), 4u);
+  EXPECT_EQ(t.SwitchNeighborhood(2, 1).size(), 2u);
+  EXPECT_EQ(t.SwitchNeighborhood(2, 2).size(), 4u);
+}
+
+}  // namespace
+}  // namespace dibs

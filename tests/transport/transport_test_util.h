@@ -1,0 +1,81 @@
+// Shared fixture for transport tests: a small network plus a FlowManager and
+// completion bookkeeping.
+
+#ifndef TESTS_TRANSPORT_TRANSPORT_TEST_UTIL_H_
+#define TESTS_TRANSPORT_TRANSPORT_TEST_UTIL_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/device/host_node.h"
+#include "src/device/network.h"
+#include "src/device/switch_node.h"
+#include "src/topo/builders.h"
+#include "src/transport/flow_manager.h"
+
+namespace dibs {
+
+class TransportHarness {
+ public:
+  TransportHarness(Topology topo, NetworkConfig net_cfg, TransportKind kind,
+                   TcpConfig tcp_cfg = TcpConfig(), uint64_t seed = 1)
+      : sim_(std::make_unique<Simulator>(seed)),
+        net_(std::make_unique<Network>(sim_.get(), std::move(topo), net_cfg)),
+        flows_(std::make_unique<FlowManager>(net_.get(), kind, tcp_cfg)) {}
+
+  FlowId StartFlow(HostId src, HostId dst, uint64_t bytes,
+                   TrafficClass cls = TrafficClass::kBackground) {
+    return flows_->StartFlow(src, dst, bytes, cls,
+                             [this](const FlowResult& r) { results_.push_back(r); });
+  }
+
+  // Runs until idle (all flows complete or stall forever).
+  void Run() { sim_->Run(); }
+  void RunUntil(Time t) { sim_->RunUntil(t); }
+
+  // Max over time of the deepest switch queue, sampled every 10us until `end`.
+  size_t TrackMaxQueueDepth(Time end) {
+    max_depth_ = 0;
+    SampleDepth(end);
+    return max_depth_;  // final value valid after Run()/RunUntil(end)
+  }
+
+  Simulator& sim() { return *sim_; }
+  Network& net() { return *net_; }
+  FlowManager& flows() { return *flows_; }
+  const std::vector<FlowResult>& results() const { return results_; }
+
+  const FlowResult* ResultFor(FlowId id) const {
+    for (const FlowResult& r : results_) {
+      if (r.spec.id == id) {
+        return &r;
+      }
+    }
+    return nullptr;
+  }
+
+  size_t max_queue_depth() const { return max_depth_; }
+
+ private:
+  void SampleDepth(Time end) {
+    for (int sw : net_->switch_ids()) {
+      SwitchNode& node = net_->switch_at(sw);
+      for (uint16_t i = 0; i < node.num_ports(); ++i) {
+        max_depth_ = std::max(max_depth_, node.port(i).queue().size_packets());
+      }
+    }
+    if (sim_->Now() + Time::Micros(10) <= end) {
+      sim_->Schedule(Time::Micros(10), [this, end] { SampleDepth(end); });
+    }
+  }
+
+  std::unique_ptr<Simulator> sim_;
+  std::unique_ptr<Network> net_;
+  std::unique_ptr<FlowManager> flows_;
+  std::vector<FlowResult> results_;
+  size_t max_depth_ = 0;
+};
+
+}  // namespace dibs
+
+#endif  // TESTS_TRANSPORT_TRANSPORT_TEST_UTIL_H_

@@ -1,0 +1,68 @@
+#include "src/util/histogram.h"
+
+#include <gtest/gtest.h>
+
+namespace dibs {
+namespace {
+
+TEST(HistogramTest, CountsLandInRightBuckets) {
+  Histogram h(1.0, 10);
+  h.Add(0.5);
+  h.Add(1.5);
+  h.Add(1.9);
+  h.Add(9.5);
+  EXPECT_EQ(h.bucket_count(0), 1u);
+  EXPECT_EQ(h.bucket_count(1), 2u);
+  EXPECT_EQ(h.bucket_count(9), 1u);
+  EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(HistogramTest, OverflowBucket) {
+  Histogram h(1.0, 4);
+  h.Add(100.0);
+  h.Add(4.0);  // exactly at the boundary -> overflow
+  EXPECT_EQ(h.overflow_count(), 2u);
+  EXPECT_DOUBLE_EQ(h.max_seen(), 100.0);
+}
+
+TEST(HistogramTest, NegativeValuesClampToFirstBucket) {
+  Histogram h(1.0, 4);
+  h.Add(-3.0);
+  EXPECT_EQ(h.bucket_count(0), 1u);
+}
+
+TEST(HistogramTest, WeightedAdd) {
+  Histogram h(10.0, 4);
+  h.Add(5.0, 7);
+  EXPECT_EQ(h.total(), 7u);
+  EXPECT_EQ(h.bucket_count(0), 7u);
+}
+
+TEST(HistogramTest, CumulativeFraction) {
+  Histogram h(1.0, 4);
+  for (int i = 0; i < 4; ++i) {
+    h.Add(i + 0.5);
+  }
+  EXPECT_DOUBLE_EQ(h.CumulativeFraction(0), 0.25);
+  EXPECT_DOUBLE_EQ(h.CumulativeFraction(1), 0.50);
+  EXPECT_DOUBLE_EQ(h.CumulativeFraction(3), 1.0);
+}
+
+TEST(HistogramTest, ApproxQuantile) {
+  Histogram h(1.0, 100);
+  for (int i = 0; i < 100; ++i) {
+    h.Add(i + 0.5);
+  }
+  // 99% of samples are below ~99.
+  EXPECT_NEAR(h.ApproxQuantile(0.99), 99.0, 1.0);
+  EXPECT_NEAR(h.ApproxQuantile(0.5), 50.0, 1.0);
+}
+
+TEST(HistogramTest, EmptyQuantileIsZero) {
+  Histogram h(1.0, 4);
+  EXPECT_EQ(h.ApproxQuantile(0.99), 0.0);
+  EXPECT_EQ(h.CumulativeFraction(3), 0.0);
+}
+
+}  // namespace
+}  // namespace dibs

@@ -1,0 +1,133 @@
+#include "src/util/stats_util.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace dibs {
+namespace {
+
+TEST(PercentileTest, EmptyInputReturnsZero) {
+  EXPECT_EQ(Percentile({}, 50), 0.0);
+  EXPECT_EQ(Percentile({}, 99), 0.0);
+}
+
+TEST(PercentileTest, SingleValue) {
+  EXPECT_EQ(Percentile({42.0}, 0), 42.0);
+  EXPECT_EQ(Percentile({42.0}, 50), 42.0);
+  EXPECT_EQ(Percentile({42.0}, 100), 42.0);
+}
+
+TEST(PercentileTest, MedianOfTwoInterpolates) {
+  EXPECT_DOUBLE_EQ(Percentile({10.0, 20.0}, 50), 15.0);
+}
+
+TEST(PercentileTest, ExtremesAreMinAndMax) {
+  std::vector<double> v{5, 1, 9, 3, 7};
+  EXPECT_DOUBLE_EQ(Percentile(v, 0), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 100), 9.0);
+}
+
+TEST(PercentileTest, UnsortedInputIsSorted) {
+  EXPECT_DOUBLE_EQ(Percentile({9, 1, 5, 3, 7}, 50), 5.0);
+}
+
+TEST(PercentileTest, NinetyNinthOfUniformRamp) {
+  std::vector<double> v;
+  for (int i = 1; i <= 100; ++i) {
+    v.push_back(i);
+  }
+  const double p99 = Percentile(v, 99);
+  EXPECT_GE(p99, 99.0);
+  EXPECT_LE(p99, 100.0);
+}
+
+TEST(PercentileTest, MonotoneInP) {
+  std::vector<double> v{3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5};
+  double prev = -1;
+  for (double p = 0; p <= 100; p += 5) {
+    const double value = Percentile(v, p);
+    EXPECT_GE(value, prev);
+    prev = value;
+  }
+}
+
+TEST(MeanTest, Basics) {
+  EXPECT_EQ(Mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(Mean({2.0, 4.0, 6.0}), 4.0);
+}
+
+TEST(StdDevTest, ZeroForConstant) {
+  EXPECT_DOUBLE_EQ(StdDev({5, 5, 5, 5}), 0.0);
+}
+
+TEST(StdDevTest, KnownSample) {
+  // Sample stddev of {2,4,4,4,5,5,7,9} is 2.138...
+  EXPECT_NEAR(StdDev({2, 4, 4, 4, 5, 5, 7, 9}), 2.138, 0.001);
+}
+
+TEST(JainTest, PerfectFairness) {
+  EXPECT_DOUBLE_EQ(JainFairnessIndex({1, 1, 1, 1}), 1.0);
+}
+
+TEST(JainTest, WorstCaseIsOneOverN) {
+  EXPECT_DOUBLE_EQ(JainFairnessIndex({1, 0, 0, 0}), 0.25);
+}
+
+TEST(JainTest, DegenerateInputsAreFair) {
+  EXPECT_DOUBLE_EQ(JainFairnessIndex({}), 1.0);
+  EXPECT_DOUBLE_EQ(JainFairnessIndex({0, 0}), 1.0);
+}
+
+TEST(JainTest, BoundedByOne) {
+  EXPECT_LE(JainFairnessIndex({1, 2, 3, 4, 5}), 1.0);
+  EXPECT_GT(JainFairnessIndex({1, 2, 3, 4, 5}), 0.0);
+}
+
+TEST(SummarizeTest, AllFieldsPopulated) {
+  std::vector<double> v;
+  for (int i = 1; i <= 1000; ++i) {
+    v.push_back(i);
+  }
+  const Summary s = Summarize(v);
+  EXPECT_EQ(s.count, 1000u);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 1000.0);
+  EXPECT_NEAR(s.mean, 500.5, 1e-9);
+  EXPECT_NEAR(s.p50, 500.5, 1.0);
+  EXPECT_NEAR(s.p99, 990, 1.5);
+  EXPECT_GT(s.p999, s.p99);
+}
+
+TEST(SummarizeTest, EmptyIsAllZero) {
+  const Summary s = Summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.p99, 0.0);
+}
+
+TEST(EmpiricalCdfPointsTest, LastPointIsMaxAtOne) {
+  const auto cdf = EmpiricalCdfPoints({3, 1, 2}, 10);
+  ASSERT_FALSE(cdf.empty());
+  EXPECT_DOUBLE_EQ(cdf.back().first, 3.0);
+  EXPECT_DOUBLE_EQ(cdf.back().second, 1.0);
+}
+
+TEST(EmpiricalCdfPointsTest, FractionsNonDecreasing) {
+  std::vector<double> v;
+  for (int i = 0; i < 57; ++i) {
+    v.push_back(i * 3 % 17);
+  }
+  const auto cdf = EmpiricalCdfPoints(v, 20);
+  for (size_t i = 1; i < cdf.size(); ++i) {
+    EXPECT_GE(cdf[i].first, cdf[i - 1].first);
+    EXPECT_GE(cdf[i].second, cdf[i - 1].second);
+  }
+}
+
+TEST(EmpiricalCdfPointsTest, EmptyInput) {
+  EXPECT_TRUE(EmpiricalCdfPoints({}, 10).empty());
+}
+
+}  // namespace
+}  // namespace dibs

@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/device/network.h"
+#include "src/topo/builders.h"
+#include "src/transport/flow_manager.h"
+#include "src/workload/background.h"
+#include "src/workload/long_lived.h"
+#include "src/workload/query.h"
+
+namespace dibs {
+namespace {
+
+struct WorkloadHarness {
+  WorkloadHarness(uint64_t seed = 1, Topology topo = BuildPaperFatTree())
+      : sim(seed), net(&sim, std::move(topo), NetworkConfig{}),
+        flows(&net, TransportKind::kDctcp, TcpConfig::DibsDefault()) {}
+
+  Simulator sim;
+  Network net;
+  FlowManager flows;
+};
+
+TEST(BackgroundWorkloadTest, LaunchesAtRoughlyTheConfiguredRate) {
+  WorkloadHarness h;
+  BackgroundWorkload::Options opts;
+  opts.per_host = false;  // test the raw network-wide arrival process
+  opts.mean_interarrival = Time::Millis(10);
+  opts.stop_time = Time::Seconds(2);
+  int completed = 0;
+  BackgroundWorkload bg(&h.net, &h.flows, opts, ShortFlowSizes(),
+                        [&](const FlowResult& r) { ++completed; });
+  bg.Start();
+  h.sim.RunUntil(Time::Seconds(2) + Time::Millis(200));
+  // Expect ~200 arrivals over 2s at 1 per 10ms (Poisson, wide tolerance).
+  EXPECT_GT(bg.flows_launched(), 120u);
+  EXPECT_LT(bg.flows_launched(), 300u);
+  EXPECT_EQ(static_cast<uint64_t>(completed), bg.flows_launched());
+}
+
+TEST(BackgroundWorkloadTest, StopsAtStopTime) {
+  WorkloadHarness h;
+  BackgroundWorkload::Options opts;
+  opts.per_host = false;  // test the raw network-wide arrival process
+  opts.mean_interarrival = Time::Millis(5);
+  opts.stop_time = Time::Millis(100);
+  BackgroundWorkload bg(&h.net, &h.flows, opts, ShortFlowSizes(), nullptr);
+  bg.Start();
+  h.sim.RunUntil(Time::Seconds(1));
+  const uint64_t at_stop = bg.flows_launched();
+  h.sim.RunUntil(Time::Seconds(2));
+  EXPECT_EQ(bg.flows_launched(), at_stop);
+}
+
+TEST(BackgroundWorkloadTest, MaxFlowsCap) {
+  WorkloadHarness h;
+  BackgroundWorkload::Options opts;
+  opts.per_host = false;  // test the raw network-wide arrival process
+  opts.mean_interarrival = Time::Micros(100);
+  opts.max_flows = 25;
+  BackgroundWorkload bg(&h.net, &h.flows, opts, ShortFlowSizes(), nullptr);
+  bg.Start();
+  h.sim.RunUntil(Time::Seconds(1));
+  EXPECT_EQ(bg.flows_launched(), 25u);
+}
+
+TEST(QueryWorkloadTest, QctCoversAllResponses) {
+  WorkloadHarness h;
+  QueryWorkload::Options opts;
+  opts.qps = 100;
+  opts.degree = 10;
+  opts.response_bytes = 20000;
+  opts.max_queries = 5;
+  std::vector<QueryResult> results;
+  QueryWorkload q(&h.net, &h.flows, opts, [&](const QueryResult& r) { results.push_back(r); });
+  q.Start();
+  h.sim.Run();
+  ASSERT_EQ(results.size(), 5u);
+  for (const QueryResult& r : results) {
+    EXPECT_EQ(r.degree, 10);
+    EXPECT_GT(r.qct, Time::Zero());
+    EXPECT_EQ(r.completion_time, r.issue_time + r.qct);
+    // 10 responders x 20KB = 200KB over a 1Gbps edge link: at least 1.6ms.
+    EXPECT_GT(r.qct, Time::Micros(1600));
+  }
+  EXPECT_EQ(q.queries_completed(), 5u);
+}
+
+TEST(QueryWorkloadTest, RespondersAreDistinctAndExcludeTarget) {
+  // Indirectly verified by FlowManager's src != dst check plus degree
+  // distinct picks; run many queries at high degree to exercise it.
+  WorkloadHarness h;
+  QueryWorkload::Options opts;
+  opts.qps = 1000;
+  opts.degree = 100;  // of 128 hosts
+  opts.response_bytes = 2000;
+  opts.max_queries = 20;
+  QueryWorkload q(&h.net, &h.flows, opts, nullptr);
+  q.Start();
+  h.sim.Run();
+  EXPECT_EQ(q.queries_completed(), 20u);
+  EXPECT_EQ(h.flows.flows_started(), 2000u);
+}
+
+TEST(QueryWorkloadTest, FlowCompletionTapFires) {
+  WorkloadHarness h;
+  QueryWorkload::Options opts;
+  opts.qps = 100;
+  opts.degree = 5;
+  opts.response_bytes = 5000;
+  opts.max_queries = 3;
+  int flow_completions = 0;
+  opts.on_flow_complete = [&](const FlowResult& r) {
+    EXPECT_EQ(r.spec.traffic_class, TrafficClass::kQuery);
+    ++flow_completions;
+  };
+  QueryWorkload q(&h.net, &h.flows, opts, nullptr);
+  q.Start();
+  h.sim.Run();
+  EXPECT_EQ(flow_completions, 15);
+}
+
+TEST(LongLivedWorkloadTest, PairsAreNodeDisjoint) {
+  WorkloadHarness h;
+  LongLivedWorkload::Options opts;
+  opts.flows_per_pair = 1;
+  opts.flow_bytes = 1000000;
+  LongLivedWorkload ll(&h.net, &h.flows, opts);
+  ll.Start();
+  // 128 hosts -> 64 pairs x 2 directions.
+  EXPECT_EQ(ll.num_flows(), 128u);
+}
+
+TEST(LongLivedWorkloadTest, GoodputRoughlyFairOnFatTree) {
+  WorkloadHarness h(3);
+  LongLivedWorkload::Options opts;
+  opts.flows_per_pair = 1;
+  opts.flow_bytes = 1u << 30;
+  LongLivedWorkload ll(&h.net, &h.flows, opts);
+  ll.Start();
+  h.sim.RunUntil(Time::Millis(100));
+  const double fairness = ll.FairnessIndex();
+  EXPECT_GT(fairness, 0.9);  // §5.6 reports > 0.9
+  EXPECT_LE(fairness, 1.0);
+  // Host pairs share an edge switch: each direction should push near line
+  // rate; sanity-check the mean goodput is within 2x of 1Gbps.
+  const auto goodputs = ll.MeasureGoodputBps();
+  double mean = 0;
+  for (double g : goodputs) {
+    mean += g;
+  }
+  mean /= static_cast<double>(goodputs.size());
+  EXPECT_GT(mean, 400e6);
+}
+
+}  // namespace
+}  // namespace dibs
