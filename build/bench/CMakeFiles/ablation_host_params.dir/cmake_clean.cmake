@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_host_params.dir/ablation_host_params.cc.o"
+  "CMakeFiles/ablation_host_params.dir/ablation_host_params.cc.o.d"
+  "ablation_host_params"
+  "ablation_host_params.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_host_params.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_detour_timeline.dir/fig02_detour_timeline.cc.o"
+  "CMakeFiles/fig02_detour_timeline.dir/fig02_detour_timeline.cc.o.d"
+  "fig02_detour_timeline"
+  "fig02_detour_timeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_detour_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

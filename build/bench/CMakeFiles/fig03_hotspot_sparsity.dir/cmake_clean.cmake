@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_hotspot_sparsity.dir/fig03_hotspot_sparsity.cc.o"
+  "CMakeFiles/fig03_hotspot_sparsity.dir/fig03_hotspot_sparsity.cc.o.d"
+  "fig03_hotspot_sparsity"
+  "fig03_hotspot_sparsity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_hotspot_sparsity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

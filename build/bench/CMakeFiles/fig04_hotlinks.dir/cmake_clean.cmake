@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_hotlinks.dir/fig04_hotlinks.cc.o"
+  "CMakeFiles/fig04_hotlinks.dir/fig04_hotlinks.cc.o.d"
+  "fig04_hotlinks"
+  "fig04_hotlinks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_hotlinks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

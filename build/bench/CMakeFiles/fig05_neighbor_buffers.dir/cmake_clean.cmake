@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_neighbor_buffers.dir/fig05_neighbor_buffers.cc.o"
+  "CMakeFiles/fig05_neighbor_buffers.dir/fig05_neighbor_buffers.cc.o.d"
+  "fig05_neighbor_buffers"
+  "fig05_neighbor_buffers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_neighbor_buffers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_click_incast.dir/fig06_click_incast.cc.o"
+  "CMakeFiles/fig06_click_incast.dir/fig06_click_incast.cc.o.d"
+  "fig06_click_incast"
+  "fig06_click_incast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_click_incast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_buffer_sweep.dir/fig07_buffer_sweep.cc.o"
+  "CMakeFiles/fig07_buffer_sweep.dir/fig07_buffer_sweep.cc.o.d"
+  "fig07_buffer_sweep"
+  "fig07_buffer_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_buffer_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

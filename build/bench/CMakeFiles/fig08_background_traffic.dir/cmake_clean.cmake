@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_background_traffic.dir/fig08_background_traffic.cc.o"
+  "CMakeFiles/fig08_background_traffic.dir/fig08_background_traffic.cc.o.d"
+  "fig08_background_traffic"
+  "fig08_background_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_background_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

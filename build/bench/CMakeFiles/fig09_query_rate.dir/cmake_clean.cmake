@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_query_rate.dir/fig09_query_rate.cc.o"
+  "CMakeFiles/fig09_query_rate.dir/fig09_query_rate.cc.o.d"
+  "fig09_query_rate"
+  "fig09_query_rate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_query_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

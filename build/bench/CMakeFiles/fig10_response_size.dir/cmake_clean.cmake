@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_response_size.dir/fig10_response_size.cc.o"
+  "CMakeFiles/fig10_response_size.dir/fig10_response_size.cc.o.d"
+  "fig10_response_size"
+  "fig10_response_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_response_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

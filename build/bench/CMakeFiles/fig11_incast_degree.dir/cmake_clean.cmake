@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_incast_degree.dir/fig11_incast_degree.cc.o"
+  "CMakeFiles/fig11_incast_degree.dir/fig11_incast_degree.cc.o.d"
+  "fig11_incast_degree"
+  "fig11_incast_degree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_incast_degree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

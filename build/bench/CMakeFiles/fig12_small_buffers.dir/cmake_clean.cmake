@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_small_buffers.dir/fig12_small_buffers.cc.o"
+  "CMakeFiles/fig12_small_buffers.dir/fig12_small_buffers.cc.o.d"
+  "fig12_small_buffers"
+  "fig12_small_buffers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_small_buffers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_ttl.dir/fig13_ttl.cc.o"
+  "CMakeFiles/fig13_ttl.dir/fig13_ttl.cc.o.d"
+  "fig13_ttl"
+  "fig13_ttl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_ttl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

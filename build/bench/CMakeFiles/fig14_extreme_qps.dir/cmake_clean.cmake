@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_extreme_qps.dir/fig14_extreme_qps.cc.o"
+  "CMakeFiles/fig14_extreme_qps.dir/fig14_extreme_qps.cc.o.d"
+  "fig14_extreme_qps"
+  "fig14_extreme_qps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_extreme_qps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_large_response.dir/fig15_large_response.cc.o"
+  "CMakeFiles/fig15_large_response.dir/fig15_large_response.cc.o.d"
+  "fig15_large_response"
+  "fig15_large_response.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_large_response.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

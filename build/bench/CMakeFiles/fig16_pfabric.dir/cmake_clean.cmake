@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_pfabric.dir/fig16_pfabric.cc.o"
+  "CMakeFiles/fig16_pfabric.dir/fig16_pfabric.cc.o.d"
+  "fig16_pfabric"
+  "fig16_pfabric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_pfabric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

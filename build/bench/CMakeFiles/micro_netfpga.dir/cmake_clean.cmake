@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_netfpga.dir/micro_netfpga.cc.o"
+  "CMakeFiles/micro_netfpga.dir/micro_netfpga.cc.o.d"
+  "micro_netfpga"
+  "micro_netfpga.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_netfpga.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec552_shared_buffer.dir/sec552_shared_buffer.cc.o"
+  "CMakeFiles/sec552_shared_buffer.dir/sec552_shared_buffer.cc.o.d"
+  "sec552_shared_buffer"
+  "sec552_shared_buffer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec552_shared_buffer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec554_oversubscription.dir/sec554_oversubscription.cc.o"
+  "CMakeFiles/sec554_oversubscription.dir/sec554_oversubscription.cc.o.d"
+  "sec554_oversubscription"
+  "sec554_oversubscription.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec554_oversubscription.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/sec56_fairness.cc" "bench/CMakeFiles/sec56_fairness.dir/sec56_fairness.cc.o" "gcc" "bench/CMakeFiles/sec56_fairness.dir/sec56_fairness.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hw/CMakeFiles/dibs_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/harness/CMakeFiles/dibs_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/dibs_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/dibs_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/dibs_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/dibs_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/dibs_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/dibs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dibs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dibs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

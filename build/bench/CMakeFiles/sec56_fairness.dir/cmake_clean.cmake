@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec56_fairness.dir/sec56_fairness.cc.o"
+  "CMakeFiles/sec56_fairness.dir/sec56_fairness.cc.o.d"
+  "sec56_fairness"
+  "sec56_fairness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec56_fairness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec6_alternatives.dir/sec6_alternatives.cc.o"
+  "CMakeFiles/sec6_alternatives.dir/sec6_alternatives.cc.o.d"
+  "sec6_alternatives"
+  "sec6_alternatives.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec6_alternatives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec7_topologies.dir/sec7_topologies.cc.o"
+  "CMakeFiles/sec7_topologies.dir/sec7_topologies.cc.o.d"
+  "sec7_topologies"
+  "sec7_topologies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec7_topologies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

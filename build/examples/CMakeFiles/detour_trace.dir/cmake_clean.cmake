@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/detour_trace.dir/detour_trace.cpp.o"
+  "CMakeFiles/detour_trace.dir/detour_trace.cpp.o.d"
+  "detour_trace"
+  "detour_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/detour_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

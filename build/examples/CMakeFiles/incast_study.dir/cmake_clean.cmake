@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/incast_study.dir/incast_study.cpp.o"
+  "CMakeFiles/incast_study.dir/incast_study.cpp.o.d"
+  "incast_study"
+  "incast_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/incast_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dibs_core.dir/detour_policy.cc.o"
+  "CMakeFiles/dibs_core.dir/detour_policy.cc.o.d"
+  "libdibs_core.a"
+  "libdibs_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dibs_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/device/host_node.cc" "src/device/CMakeFiles/dibs_device.dir/host_node.cc.o" "gcc" "src/device/CMakeFiles/dibs_device.dir/host_node.cc.o.d"
+  "/root/repo/src/device/network.cc" "src/device/CMakeFiles/dibs_device.dir/network.cc.o" "gcc" "src/device/CMakeFiles/dibs_device.dir/network.cc.o.d"
+  "/root/repo/src/device/port.cc" "src/device/CMakeFiles/dibs_device.dir/port.cc.o" "gcc" "src/device/CMakeFiles/dibs_device.dir/port.cc.o.d"
+  "/root/repo/src/device/switch_node.cc" "src/device/CMakeFiles/dibs_device.dir/switch_node.cc.o" "gcc" "src/device/CMakeFiles/dibs_device.dir/switch_node.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dibs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/dibs_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dibs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dibs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

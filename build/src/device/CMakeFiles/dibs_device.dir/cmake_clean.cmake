@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dibs_device.dir/host_node.cc.o"
+  "CMakeFiles/dibs_device.dir/host_node.cc.o.d"
+  "CMakeFiles/dibs_device.dir/network.cc.o"
+  "CMakeFiles/dibs_device.dir/network.cc.o.d"
+  "CMakeFiles/dibs_device.dir/port.cc.o"
+  "CMakeFiles/dibs_device.dir/port.cc.o.d"
+  "CMakeFiles/dibs_device.dir/switch_node.cc.o"
+  "CMakeFiles/dibs_device.dir/switch_node.cc.o.d"
+  "libdibs_device.a"
+  "libdibs_device.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dibs_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dibs_harness.dir/config.cc.o"
+  "CMakeFiles/dibs_harness.dir/config.cc.o.d"
+  "CMakeFiles/dibs_harness.dir/scenario.cc.o"
+  "CMakeFiles/dibs_harness.dir/scenario.cc.o.d"
+  "CMakeFiles/dibs_harness.dir/table.cc.o"
+  "CMakeFiles/dibs_harness.dir/table.cc.o.d"
+  "libdibs_harness.a"
+  "libdibs_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dibs_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

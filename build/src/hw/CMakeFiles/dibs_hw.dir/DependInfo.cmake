@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hw/click.cc" "src/hw/CMakeFiles/dibs_hw.dir/click.cc.o" "gcc" "src/hw/CMakeFiles/dibs_hw.dir/click.cc.o.d"
+  "/root/repo/src/hw/netfpga.cc" "src/hw/CMakeFiles/dibs_hw.dir/netfpga.cc.o" "gcc" "src/hw/CMakeFiles/dibs_hw.dir/netfpga.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/dibs_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dibs_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dibs_hw.dir/click.cc.o"
+  "CMakeFiles/dibs_hw.dir/click.cc.o.d"
+  "CMakeFiles/dibs_hw.dir/netfpga.cc.o"
+  "CMakeFiles/dibs_hw.dir/netfpga.cc.o.d"
+  "libdibs_hw.a"
+  "libdibs_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dibs_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

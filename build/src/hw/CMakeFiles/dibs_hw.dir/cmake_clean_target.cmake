@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdibs_hw.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dibs_sim.dir/simulator.cc.o"
+  "CMakeFiles/dibs_sim.dir/simulator.cc.o.d"
+  "CMakeFiles/dibs_sim.dir/time.cc.o"
+  "CMakeFiles/dibs_sim.dir/time.cc.o.d"
+  "libdibs_sim.a"
+  "libdibs_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dibs_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dibs_stats.dir/buffer_monitor.cc.o"
+  "CMakeFiles/dibs_stats.dir/buffer_monitor.cc.o.d"
+  "CMakeFiles/dibs_stats.dir/link_monitor.cc.o"
+  "CMakeFiles/dibs_stats.dir/link_monitor.cc.o.d"
+  "libdibs_stats.a"
+  "libdibs_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dibs_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

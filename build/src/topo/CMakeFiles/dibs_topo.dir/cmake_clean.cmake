@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dibs_topo.dir/builders.cc.o"
+  "CMakeFiles/dibs_topo.dir/builders.cc.o.d"
+  "CMakeFiles/dibs_topo.dir/routing.cc.o"
+  "CMakeFiles/dibs_topo.dir/routing.cc.o.d"
+  "CMakeFiles/dibs_topo.dir/topology.cc.o"
+  "CMakeFiles/dibs_topo.dir/topology.cc.o.d"
+  "libdibs_topo.a"
+  "libdibs_topo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dibs_topo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/transport/flow_manager.cc" "src/transport/CMakeFiles/dibs_transport.dir/flow_manager.cc.o" "gcc" "src/transport/CMakeFiles/dibs_transport.dir/flow_manager.cc.o.d"
+  "/root/repo/src/transport/pfabric_sender.cc" "src/transport/CMakeFiles/dibs_transport.dir/pfabric_sender.cc.o" "gcc" "src/transport/CMakeFiles/dibs_transport.dir/pfabric_sender.cc.o.d"
+  "/root/repo/src/transport/tcp_receiver.cc" "src/transport/CMakeFiles/dibs_transport.dir/tcp_receiver.cc.o" "gcc" "src/transport/CMakeFiles/dibs_transport.dir/tcp_receiver.cc.o.d"
+  "/root/repo/src/transport/tcp_sender.cc" "src/transport/CMakeFiles/dibs_transport.dir/tcp_sender.cc.o" "gcc" "src/transport/CMakeFiles/dibs_transport.dir/tcp_sender.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/device/CMakeFiles/dibs_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dibs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dibs_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/dibs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/dibs_topo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

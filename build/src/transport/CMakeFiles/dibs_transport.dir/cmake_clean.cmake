@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dibs_transport.dir/flow_manager.cc.o"
+  "CMakeFiles/dibs_transport.dir/flow_manager.cc.o.d"
+  "CMakeFiles/dibs_transport.dir/pfabric_sender.cc.o"
+  "CMakeFiles/dibs_transport.dir/pfabric_sender.cc.o.d"
+  "CMakeFiles/dibs_transport.dir/tcp_receiver.cc.o"
+  "CMakeFiles/dibs_transport.dir/tcp_receiver.cc.o.d"
+  "CMakeFiles/dibs_transport.dir/tcp_sender.cc.o"
+  "CMakeFiles/dibs_transport.dir/tcp_sender.cc.o.d"
+  "libdibs_transport.a"
+  "libdibs_transport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dibs_transport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dibs_util.dir/logging.cc.o"
+  "CMakeFiles/dibs_util.dir/logging.cc.o.d"
+  "CMakeFiles/dibs_util.dir/stats_util.cc.o"
+  "CMakeFiles/dibs_util.dir/stats_util.cc.o.d"
+  "libdibs_util.a"
+  "libdibs_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dibs_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/background.cc" "src/workload/CMakeFiles/dibs_workload.dir/background.cc.o" "gcc" "src/workload/CMakeFiles/dibs_workload.dir/background.cc.o.d"
+  "/root/repo/src/workload/distributions.cc" "src/workload/CMakeFiles/dibs_workload.dir/distributions.cc.o" "gcc" "src/workload/CMakeFiles/dibs_workload.dir/distributions.cc.o.d"
+  "/root/repo/src/workload/long_lived.cc" "src/workload/CMakeFiles/dibs_workload.dir/long_lived.cc.o" "gcc" "src/workload/CMakeFiles/dibs_workload.dir/long_lived.cc.o.d"
+  "/root/repo/src/workload/query.cc" "src/workload/CMakeFiles/dibs_workload.dir/query.cc.o" "gcc" "src/workload/CMakeFiles/dibs_workload.dir/query.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/transport/CMakeFiles/dibs_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/dibs_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dibs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dibs_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/dibs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/dibs_topo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dibs_workload.dir/background.cc.o"
+  "CMakeFiles/dibs_workload.dir/background.cc.o.d"
+  "CMakeFiles/dibs_workload.dir/distributions.cc.o"
+  "CMakeFiles/dibs_workload.dir/distributions.cc.o.d"
+  "CMakeFiles/dibs_workload.dir/long_lived.cc.o"
+  "CMakeFiles/dibs_workload.dir/long_lived.cc.o.d"
+  "CMakeFiles/dibs_workload.dir/query.cc.o"
+  "CMakeFiles/dibs_workload.dir/query.cc.o.d"
+  "libdibs_workload.a"
+  "libdibs_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dibs_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/device_test.dir/device/flow_control_test.cc.o"
+  "CMakeFiles/device_test.dir/device/flow_control_test.cc.o.d"
+  "CMakeFiles/device_test.dir/device/network_test.cc.o"
+  "CMakeFiles/device_test.dir/device/network_test.cc.o.d"
+  "CMakeFiles/device_test.dir/device/port_test.cc.o"
+  "CMakeFiles/device_test.dir/device/port_test.cc.o.d"
+  "CMakeFiles/device_test.dir/device/switch_test.cc.o"
+  "CMakeFiles/device_test.dir/device/switch_test.cc.o.d"
+  "device_test"
+  "device_test.pdb"
+  "device_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/device_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
