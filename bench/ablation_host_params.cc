@@ -17,21 +17,38 @@ int main() {
                     "defaults: 300 qps, degree 40, response 20KB, bg 120ms");
   const Time duration = BenchDuration(Time::Millis(300));
 
-  TablePrinter table({"dupack_thresh", "minrto_ms", "qct99_ms", "qct50_ms", "bgfct99_ms",
-                      "timeouts", "retransmits"});
-  table.PrintHeader();
   struct Point {
     uint32_t dupack;  // 0 = fast retransmit disabled (paper's primary choice)
     int64_t minrto_ms;
   };
-  for (const Point& p : {Point{0, 10}, Point{0, 50}, Point{3, 10}, Point{10, 10},
-                         Point{10, 50}, Point{20, 10}}) {
-    ExperimentConfig cfg = Standard(DibsConfig(), duration);
-    cfg.tcp.dupack_threshold = p.dupack;
-    cfg.tcp.min_rto = Time::Millis(p.minrto_ms);
-    const ScenarioResult r = RunScenario(cfg);
-    table.PrintRow({TablePrinter::Int(p.dupack),
-                    TablePrinter::Int(static_cast<uint64_t>(p.minrto_ms)),
+  const std::vector<Point> points = {{0, 10}, {0, 50},  {3, 10},
+                                     {10, 10}, {10, 50}, {20, 10}};
+
+  SweepSpec spec;
+  spec.name = "ablation_host_params";
+  spec.base = Standard(DibsConfig(), duration);
+  SweepAxis axis;
+  axis.name = "host_params";
+  for (const Point& p : points) {
+    axis.values.push_back({"d" + std::to_string(p.dupack) + "_rto" +
+                               std::to_string(p.minrto_ms),
+                           [p](ExperimentConfig& c) {
+                             c.tcp.dupack_threshold = p.dupack;
+                             c.tcp.min_rto = Time::Millis(p.minrto_ms);
+                           }});
+  }
+  spec.axes.push_back(std::move(axis));
+
+  // Records come back in axis order, so records[i] is points[i].
+  const std::vector<RunRecord> records = RunBenchSweep(std::move(spec));
+
+  TablePrinter table({"dupack_thresh", "minrto_ms", "qct99_ms", "qct50_ms", "bgfct99_ms",
+                      "timeouts", "retransmits"});
+  table.PrintHeader();
+  for (size_t i = 0; i < points.size(); ++i) {
+    const ScenarioResult& r = records[i].result;
+    table.PrintRow({TablePrinter::Int(points[i].dupack),
+                    TablePrinter::Int(static_cast<uint64_t>(points[i].minrto_ms)),
                     TablePrinter::Num(r.qct99_ms), TablePrinter::Num(r.qct.p50),
                     TablePrinter::Num(r.bg_fct99_ms), TablePrinter::Int(r.timeouts),
                     TablePrinter::Int(r.retransmits)});

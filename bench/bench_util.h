@@ -1,21 +1,34 @@
-// Shared plumbing for the figure benches: standard run durations, the
-// DCTCP-vs-DIBS comparison row, and CDF printing.
+// Shared plumbing for the figure benches: standard run durations, sweep
+// execution through the src/exp engine, the DCTCP-vs-DIBS comparison row,
+// and CDF printing.
 //
 // Durations are scaled down from the paper's runs so that the whole bench
 // suite finishes in minutes on one machine; EXPERIMENTS.md records how the
-// measured shapes compare to the paper's. Override the duration with the
-// DIBS_BENCH_DURATION_MS environment variable for longer, tighter runs.
+// measured shapes compare to the paper's. Environment knobs:
+//   DIBS_BENCH_DURATION_MS  simulated window per figure point
+//   DIBS_BENCH_SEED         base seed for every run (default 1)
+//   DIBS_JOBS               sweep worker threads (default: hardware cores)
+//   DIBS_RUN_TIMEOUT_SEC    per-run wall-clock cap (default: none)
+//   DIBS_SWEEP_JSONL        append every RunRecord as JSONL to this file
+//   DIBS_SWEEP_CSV          append every RunRecord as CSV to this file
 
 #ifndef BENCH_BENCH_UTIL_H_
 #define BENCH_BENCH_UTIL_H_
 
 #include <cstdlib>
+#include <fstream>
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "src/exp/result_sink.h"
+#include "src/exp/sweep_engine.h"
+#include "src/exp/sweep_spec.h"
 #include "src/harness/config.h"
 #include "src/harness/scenario.h"
 #include "src/harness/table.h"
+#include "src/util/logging.h"
 
 namespace dibs {
 namespace bench {
@@ -28,12 +41,93 @@ inline Time BenchDuration(Time fallback = Time::Millis(400)) {
   return fallback;
 }
 
+// Base seed for every figure run; replication r of a sweep uses seed + r.
+inline uint64_t BenchSeed() {
+  if (const char* env = std::getenv("DIBS_BENCH_SEED"); env != nullptr) {
+    return static_cast<uint64_t>(std::atoll(env));
+  }
+  return 1;
+}
+
 // Applies the shared run-control settings to a preset config.
 inline ExperimentConfig Standard(ExperimentConfig c, Time duration) {
   c.duration = duration;
   c.drain = Time::Millis(150);
-  c.seed = 1;
+  c.seed = BenchSeed();
   return c;
+}
+
+inline SweepOptions BenchSweepOptions() {
+  SweepOptions opts;
+  if (const char* env = std::getenv("DIBS_RUN_TIMEOUT_SEC"); env != nullptr) {
+    opts.run_timeout_sec = std::atof(env);
+  }
+  return opts;
+}
+
+// Runs an explicit run list through the sweep engine with the bench-wide
+// options and optional JSONL/CSV export, returning records in list order.
+inline std::vector<RunRecord> RunBenchRuns(const std::string& name,
+                                           std::vector<RunSpec> runs) {
+  std::vector<std::unique_ptr<ResultSink>> owned;
+  std::vector<ResultSink*> sinks;
+  std::ofstream jsonl_file;
+  std::ofstream csv_file;
+  if (const char* path = std::getenv("DIBS_SWEEP_JSONL"); path != nullptr) {
+    jsonl_file.open(path, std::ios::app);
+    owned.push_back(std::make_unique<JsonlSink>(jsonl_file));
+    sinks.push_back(owned.back().get());
+  }
+  if (const char* path = std::getenv("DIBS_SWEEP_CSV"); path != nullptr) {
+    csv_file.open(path, std::ios::app);
+    owned.push_back(std::make_unique<CsvSink>(csv_file));
+    sinks.push_back(owned.back().get());
+  }
+  MultiSink multi(std::move(sinks));
+  SweepEngine engine(BenchSweepOptions());
+  return engine.RunAll(name, std::move(runs), &multi);
+}
+
+// Expands a declarative spec (applying the bench seed) and runs it.
+inline std::vector<RunRecord> RunBenchSweep(SweepSpec spec) {
+  spec.seed = BenchSeed();
+  return RunBenchRuns(spec.name, spec.Expand());
+}
+
+// The usual first axis: scheme presets replacing the whole config.
+inline SweepAxis SchemeAxis(std::vector<std::pair<std::string, ExperimentConfig>> schemes) {
+  SweepAxis axis;
+  axis.name = "scheme";
+  for (auto& [label, config] : schemes) {
+    axis.values.push_back({label, [config](ExperimentConfig& c) { c = config; }});
+  }
+  return axis;
+}
+
+// First record whose coordinates include every given (axis, value) pair.
+inline const RunRecord& FindRecord(const std::vector<RunRecord>& records,
+                                   const std::vector<AxisPoint>& match) {
+  for (const RunRecord& r : records) {
+    bool all = true;
+    for (const AxisPoint& want : match) {
+      bool found = false;
+      for (const AxisPoint& have : r.points) {
+        if (have == want) {
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        all = false;
+        break;
+      }
+    }
+    if (all) {
+      return r;
+    }
+  }
+  DIBS_LOG(kFatal) << "no sweep record matches the requested axis values";
+  return records.front();  // unreachable
 }
 
 // Prints a (value, cumulative fraction) CDF as rows.
@@ -57,15 +151,47 @@ struct ComparisonRow {
   ScenarioResult dibs;
 };
 
-inline ComparisonRow CompareSchemes(ExperimentConfig base_dctcp, ExperimentConfig base_dibs) {
+inline ComparisonRow MakeComparisonRow(const ScenarioResult& dctcp,
+                                       const ScenarioResult& dibs) {
   ComparisonRow row;
-  row.dctcp = RunScenario(base_dctcp);
-  row.dibs = RunScenario(base_dibs);
-  row.dctcp_qct99 = row.dctcp.qct99_ms;
-  row.dibs_qct99 = row.dibs.qct99_ms;
-  row.dctcp_bgfct99 = row.dctcp.bg_fct99_ms;
-  row.dibs_bgfct99 = row.dibs.bg_fct99_ms;
+  row.dctcp = dctcp;
+  row.dibs = dibs;
+  row.dctcp_qct99 = dctcp.qct99_ms;
+  row.dibs_qct99 = dibs.qct99_ms;
+  row.dctcp_bgfct99 = dctcp.bg_fct99_ms;
+  row.dibs_bgfct99 = dibs.bg_fct99_ms;
   return row;
+}
+
+// Runs N (dctcp, dibs) config pairs through the engine — both schemes of all
+// rows execute concurrently — and returns one ComparisonRow per pair.
+inline std::vector<ComparisonRow> CompareSchemesSweep(
+    const std::string& name,
+    const std::vector<std::pair<ExperimentConfig, ExperimentConfig>>& pairs) {
+  std::vector<RunSpec> runs;
+  runs.reserve(pairs.size() * 2);
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    for (const auto& [scheme, config] :
+         {std::pair<std::string, const ExperimentConfig&>{"dctcp", pairs[i].first},
+          std::pair<std::string, const ExperimentConfig&>{"dibs", pairs[i].second}}) {
+      RunSpec run;
+      run.config = config;
+      run.points = {{"scheme", scheme}, {"pair", std::to_string(i)}};
+      runs.push_back(std::move(run));
+    }
+  }
+  const std::vector<RunRecord> records = RunBenchRuns(name, std::move(runs));
+  std::vector<ComparisonRow> rows;
+  rows.reserve(pairs.size());
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    rows.push_back(MakeComparisonRow(records[2 * i].result, records[2 * i + 1].result));
+  }
+  return rows;
+}
+
+inline ComparisonRow CompareSchemes(ExperimentConfig base_dctcp, ExperimentConfig base_dibs) {
+  return CompareSchemesSweep("compare", {{std::move(base_dctcp), std::move(base_dibs)}})
+      .front();
 }
 
 }  // namespace bench

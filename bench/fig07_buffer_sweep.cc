@@ -12,22 +12,41 @@ int main() {
   PrintFigureBanner("Figure 7", "QCT vs switch buffer size",
                     "defaults: 300 qps, degree 40, response 20KB, bg 120ms");
   const Time duration = BenchDuration();
+  const std::vector<size_t> buffers = {25, 100, 300, 500, 700};
 
-  // The infinite-buffer reference is buffer-size independent: run once.
-  const ScenarioResult infinite = RunScenario(Standard(InfiniteBufferConfig(), duration));
+  SweepSpec spec;
+  spec.name = "fig07";
+  spec.seed = BenchSeed();
+  spec.axes.push_back(SchemeAxis({{"dctcp", Standard(DctcpConfig(), duration)},
+                                  {"dibs", Standard(DibsConfig(), duration)}}));
+  spec.axes.push_back(SweepAxis::Of<size_t>(
+      "buffer_pkts", buffers,
+      [](ExperimentConfig& c, size_t b) { c.net.switch_buffer_packets = b; }));
+
+  // The infinite-buffer reference is buffer-size independent: one extra run
+  // alongside the matrix so it shares the worker pool.
+  std::vector<RunSpec> runs = spec.Expand();
+  RunSpec inf;
+  inf.config = Standard(InfiniteBufferConfig(), duration);
+  inf.points = {{"scheme", "inf"}};
+  runs.push_back(std::move(inf));
+
+  const std::vector<RunRecord> records = RunBenchRuns(spec.name, std::move(runs));
+  const RunRecord& infinite = FindRecord(records, {{"scheme", "inf"}});
 
   TablePrinter table({"buffer_pkts", "qct99_dctcp_ms", "qct99_dibs_ms", "qct99_inf_ms",
                       "dctcp_drops", "dibs_drops"});
   table.PrintHeader();
-  for (size_t buffer : {25, 100, 300, 500, 700}) {
-    ExperimentConfig dctcp = Standard(DctcpConfig(), duration);
-    ExperimentConfig dibs = Standard(DibsConfig(), duration);
-    dctcp.net.switch_buffer_packets = buffer;
-    dibs.net.switch_buffer_packets = buffer;
-    const ComparisonRow row = CompareSchemes(dctcp, dibs);
-    table.PrintRow({TablePrinter::Int(buffer), TablePrinter::Num(row.dctcp_qct99),
-                    TablePrinter::Num(row.dibs_qct99), TablePrinter::Num(infinite.qct99_ms),
-                    TablePrinter::Int(row.dctcp.drops), TablePrinter::Int(row.dibs.drops)});
+  for (size_t buffer : buffers) {
+    const std::string b = std::to_string(buffer);
+    const RunRecord& dctcp =
+        FindRecord(records, {{"scheme", "dctcp"}, {"buffer_pkts", b}});
+    const RunRecord& dibs = FindRecord(records, {{"scheme", "dibs"}, {"buffer_pkts", b}});
+    table.PrintRow({TablePrinter::Int(buffer), TablePrinter::Num(dctcp.result.qct99_ms),
+                    TablePrinter::Num(dibs.result.qct99_ms),
+                    TablePrinter::Num(infinite.result.qct99_ms),
+                    TablePrinter::Int(dctcp.result.drops),
+                    TablePrinter::Int(dibs.result.drops)});
   }
   return 0;
 }

@@ -11,23 +11,36 @@ using namespace dibs::bench;
 int main() {
   PrintFigureBanner("Figure 9", "Variable query arrival rate",
                     "bg inter-arrival 120ms, incast degree 40, response 20KB");
-  TablePrinter table({"qps", "qct99_dctcp_ms", "qct99_dibs_ms", "bgfct99_dctcp_ms",
-                      "bgfct99_dibs_ms", "dctcp_drops", "dibs_drops", "detour_frac"});
-  table.PrintHeader();
-  for (int qps : {300, 500, 1000, 1500, 2000}) {
+  const std::vector<int> rates = {300, 500, 1000, 1500, 2000};
+
+  SweepSpec spec;
+  spec.name = "fig09";
+  spec.axes.push_back(SchemeAxis({{"dctcp", DctcpConfig()}, {"dibs", DibsConfig()}}));
+  spec.axes.push_back(SweepAxis::Of<int>("qps", rates, [](ExperimentConfig& c, int qps) {
     // Heavier query rates cost proportionally more wall time; shrink the
     // simulated window to keep the sweep fast while retaining >=60 queries.
     const Time duration = BenchDuration(qps <= 500 ? Time::Millis(400) : Time::Millis(200));
-    ExperimentConfig dctcp = Standard(DctcpConfig(), duration);
-    ExperimentConfig dibs = Standard(DibsConfig(), duration);
-    dctcp.qps = qps;
-    dibs.qps = qps;
-    const ComparisonRow row = CompareSchemes(dctcp, dibs);
+    c = Standard(c, duration);
+    c.qps = qps;
+  }));
+
+  const std::vector<RunRecord> records = RunBenchSweep(std::move(spec));
+
+  TablePrinter table({"qps", "qct99_dctcp_ms", "qct99_dibs_ms", "bgfct99_dctcp_ms",
+                      "bgfct99_dibs_ms", "dctcp_drops", "dibs_drops", "detour_frac"});
+  table.PrintHeader();
+  for (int qps : rates) {
+    const std::string q = std::to_string(qps);
+    const RunRecord& dctcp = FindRecord(records, {{"scheme", "dctcp"}, {"qps", q}});
+    const RunRecord& dibs = FindRecord(records, {{"scheme", "dibs"}, {"qps", q}});
     table.PrintRow({TablePrinter::Int(static_cast<uint64_t>(qps)),
-                    TablePrinter::Num(row.dctcp_qct99), TablePrinter::Num(row.dibs_qct99),
-                    TablePrinter::Num(row.dctcp_bgfct99), TablePrinter::Num(row.dibs_bgfct99),
-                    TablePrinter::Int(row.dctcp.drops), TablePrinter::Int(row.dibs.drops),
-                    TablePrinter::Num(row.dibs.detoured_fraction, 3)});
+                    TablePrinter::Num(dctcp.result.qct99_ms),
+                    TablePrinter::Num(dibs.result.qct99_ms),
+                    TablePrinter::Num(dctcp.result.bg_fct99_ms),
+                    TablePrinter::Num(dibs.result.bg_fct99_ms),
+                    TablePrinter::Int(dctcp.result.drops),
+                    TablePrinter::Int(dibs.result.drops),
+                    TablePrinter::Num(dibs.result.detoured_fraction, 3)});
   }
   return 0;
 }

@@ -13,19 +13,33 @@ int main() {
   PrintFigureBanner("Figure 10", "Variable response size",
                     "bg inter-arrival 120ms, incast degree 40, 300 qps");
   const Time duration = BenchDuration();
+  const std::vector<int> sizes_kb = {20, 30, 40, 50};
+
+  SweepSpec spec;
+  spec.name = "fig10";
+  spec.axes.push_back(SchemeAxis({{"dctcp", Standard(DctcpConfig(), duration)},
+                                  {"dibs", Standard(DibsConfig(), duration)}}));
+  spec.axes.push_back(
+      SweepAxis::Of<int>("response_kb", sizes_kb, [](ExperimentConfig& c, int kb) {
+        c.response_bytes = static_cast<uint64_t>(kb) * 1000;
+      }));
+
+  const std::vector<RunRecord> records = RunBenchSweep(std::move(spec));
+
   TablePrinter table({"response_kb", "qct99_dctcp_ms", "qct99_dibs_ms", "bgfct99_dctcp_ms",
                       "bgfct99_dibs_ms", "dctcp_drops", "dibs_drops"});
   table.PrintHeader();
-  for (int kb : {20, 30, 40, 50}) {
-    ExperimentConfig dctcp = Standard(DctcpConfig(), duration);
-    ExperimentConfig dibs = Standard(DibsConfig(), duration);
-    dctcp.response_bytes = static_cast<uint64_t>(kb) * 1000;
-    dibs.response_bytes = static_cast<uint64_t>(kb) * 1000;
-    const ComparisonRow row = CompareSchemes(dctcp, dibs);
+  for (int kb : sizes_kb) {
+    const std::string k = std::to_string(kb);
+    const RunRecord& dctcp = FindRecord(records, {{"scheme", "dctcp"}, {"response_kb", k}});
+    const RunRecord& dibs = FindRecord(records, {{"scheme", "dibs"}, {"response_kb", k}});
     table.PrintRow({TablePrinter::Int(static_cast<uint64_t>(kb)),
-                    TablePrinter::Num(row.dctcp_qct99), TablePrinter::Num(row.dibs_qct99),
-                    TablePrinter::Num(row.dctcp_bgfct99), TablePrinter::Num(row.dibs_bgfct99),
-                    TablePrinter::Int(row.dctcp.drops), TablePrinter::Int(row.dibs.drops)});
+                    TablePrinter::Num(dctcp.result.qct99_ms),
+                    TablePrinter::Num(dibs.result.qct99_ms),
+                    TablePrinter::Num(dctcp.result.bg_fct99_ms),
+                    TablePrinter::Num(dibs.result.bg_fct99_ms),
+                    TablePrinter::Int(dctcp.result.drops),
+                    TablePrinter::Int(dibs.result.drops)});
   }
   return 0;
 }

@@ -13,26 +13,32 @@ int main() {
   PrintFigureBanner("Figure 11", "Variable incast degree",
                     "bg inter-arrival 120ms, 300 qps, response 20KB");
   const Time duration = BenchDuration();
+  const std::vector<int> degrees = {40, 60, 80, 100};
+
+  SweepSpec spec;
+  spec.name = "fig11";
+  spec.axes.push_back(SchemeAxis({{"dctcp", Standard(DctcpConfig(), duration)},
+                                  {"dibs", Standard(DibsConfig(), duration)}}));
+  spec.axes.push_back(SweepAxis::Of<int>(
+      "degree", degrees, [](ExperimentConfig& c, int d) { c.incast_degree = d; }));
+
+  const std::vector<RunRecord> records = RunBenchSweep(std::move(spec));
+
   TablePrinter table({"degree", "qct99_dctcp_ms", "qct99_dibs_ms", "bgfct99_dctcp_ms",
                       "bgfct99_dibs_ms", "dibs_p99_detours"});
   table.PrintHeader();
-  for (int degree : {40, 60, 80, 100}) {
-    ExperimentConfig dctcp = Standard(DctcpConfig(), duration);
-    ExperimentConfig dibs = Standard(DibsConfig(), duration);
-    dctcp.incast_degree = degree;
-    dibs.incast_degree = degree;
-
-    const ScenarioResult dctcp_r = RunScenario(dctcp);
-    // For DIBS also grab the per-packet detour-count tail (§5.4.4 reports
-    // "1% of packets are detoured 40 times or more" at degree 100).
-    Scenario dibs_scenario(dibs);
-    const ScenarioResult dibs_r = dibs_scenario.Run();
-    const double p99_detours = dibs_scenario.detours().DetourCountQuantile(0.99);
-
+  for (int degree : degrees) {
+    const std::string d = std::to_string(degree);
+    const RunRecord& dctcp = FindRecord(records, {{"scheme", "dctcp"}, {"degree", d}});
+    const RunRecord& dibs = FindRecord(records, {{"scheme", "dibs"}, {"degree", d}});
+    // The per-packet detour-count tail (§5.4.4 reports "1% of packets are
+    // detoured 40 times or more" at degree 100) ships in the ScenarioResult.
     table.PrintRow({TablePrinter::Int(static_cast<uint64_t>(degree)),
-                    TablePrinter::Num(dctcp_r.qct99_ms), TablePrinter::Num(dibs_r.qct99_ms),
-                    TablePrinter::Num(dctcp_r.bg_fct99_ms),
-                    TablePrinter::Num(dibs_r.bg_fct99_ms), TablePrinter::Num(p99_detours, 0)});
+                    TablePrinter::Num(dctcp.result.qct99_ms),
+                    TablePrinter::Num(dibs.result.qct99_ms),
+                    TablePrinter::Num(dctcp.result.bg_fct99_ms),
+                    TablePrinter::Num(dibs.result.bg_fct99_ms),
+                    TablePrinter::Num(dibs.result.detour_count_p99, 0)});
   }
   return 0;
 }

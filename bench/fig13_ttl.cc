@@ -13,25 +13,42 @@ int main() {
                     "bg inter-arrival 10ms, 300 qps, degree 40, response 20KB; "
                     "network diameter 6");
   const Time duration = BenchDuration(Time::Millis(200));
+  const std::vector<int> ttls = {12, 24, 36, 48, 255};
 
-  // DCTCP reference (TTL-independent; shown flat in the paper).
-  ExperimentConfig dctcp = Standard(DctcpConfig(), duration);
-  dctcp.bg_interarrival = Time::Millis(10);
-  const ScenarioResult dctcp_r = RunScenario(dctcp);
+  SweepSpec spec;
+  spec.name = "fig13";
+  spec.seed = BenchSeed();
+  SweepAxis ttl_axis = SweepAxis::Of<int>("ttl", ttls, [duration](ExperimentConfig& c, int ttl) {
+    c = Standard(DibsConfig(), duration);
+    c.bg_interarrival = Time::Millis(10);
+    c.net.initial_ttl = static_cast<uint8_t>(ttl);
+    c.tcp.initial_ttl = static_cast<uint8_t>(ttl);
+  });
+  spec.axes.push_back(std::move(ttl_axis));
+
+  // DCTCP reference (TTL-independent; shown flat in the paper): one extra
+  // run sharing the worker pool with the TTL sweep.
+  std::vector<RunSpec> runs = spec.Expand();
+  RunSpec dctcp_run;
+  dctcp_run.config = Standard(DctcpConfig(), duration);
+  dctcp_run.config.bg_interarrival = Time::Millis(10);
+  dctcp_run.points = {{"scheme", "dctcp"}};
+  runs.push_back(std::move(dctcp_run));
+
+  const std::vector<RunRecord> records = RunBenchRuns(spec.name, std::move(runs));
+  const RunRecord& dctcp = FindRecord(records, {{"scheme", "dctcp"}});
 
   TablePrinter table({"ttl", "qct99_dibs_ms", "bgfct99_dibs_ms", "ttl_drops",
                       "qct99_dctcp_ms", "bgfct99_dctcp_ms"});
   table.PrintHeader();
-  for (int ttl : {12, 24, 36, 48, 255}) {
-    ExperimentConfig dibs = Standard(DibsConfig(), duration);
-    dibs.bg_interarrival = Time::Millis(10);
-    dibs.net.initial_ttl = static_cast<uint8_t>(ttl);
-    dibs.tcp.initial_ttl = static_cast<uint8_t>(ttl);
-    const ScenarioResult r = RunScenario(dibs);
+  for (int ttl : ttls) {
+    const RunRecord& dibs = FindRecord(records, {{"ttl", std::to_string(ttl)}});
     table.PrintRow({TablePrinter::Int(static_cast<uint64_t>(ttl)),
-                    TablePrinter::Num(r.qct99_ms), TablePrinter::Num(r.bg_fct99_ms),
-                    TablePrinter::Int(r.ttl_drops), TablePrinter::Num(dctcp_r.qct99_ms),
-                    TablePrinter::Num(dctcp_r.bg_fct99_ms)});
+                    TablePrinter::Num(dibs.result.qct99_ms),
+                    TablePrinter::Num(dibs.result.bg_fct99_ms),
+                    TablePrinter::Int(dibs.result.ttl_drops),
+                    TablePrinter::Num(dctcp.result.qct99_ms),
+                    TablePrinter::Num(dctcp.result.bg_fct99_ms)});
   }
   return 0;
 }

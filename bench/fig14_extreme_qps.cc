@@ -13,23 +13,34 @@ int main() {
                     "bg inter-arrival 120ms, incast degree 40, response 20KB");
   // Extreme rates are ~30x the default load: keep the simulated window short.
   const Time duration = BenchDuration(Time::Millis(60));
+  const std::vector<int> rates = {6000, 8000, 10000, 12000, 14000};
+
+  SweepSpec spec;
+  spec.name = "fig14";
+  spec.axes.push_back(SchemeAxis({{"dctcp", Standard(DctcpConfig(), duration)},
+                                  {"dibs", Standard(DibsConfig(), duration)}}));
+  spec.axes.push_back(SweepAxis::Of<int>("qps", rates, [](ExperimentConfig& c, int qps) {
+    c.qps = qps;
+    // Let in-flight queries finish: at these rates queues drain slowly.
+    c.drain = Time::Millis(400);
+  }));
+
+  const std::vector<RunRecord> records = RunBenchSweep(std::move(spec));
+
   TablePrinter table({"qps", "qct99_dctcp_ms", "qct99_dibs_ms", "bgfct99_dctcp_ms",
                       "bgfct99_dibs_ms", "dibs_detour_frac", "dibs_drops"});
   table.PrintHeader();
-  for (int qps : {6000, 8000, 10000, 12000, 14000}) {
-    ExperimentConfig dctcp = Standard(DctcpConfig(), duration);
-    ExperimentConfig dibs = Standard(DibsConfig(), duration);
-    dctcp.qps = qps;
-    dibs.qps = qps;
-    // Let in-flight queries finish: at these rates queues drain slowly.
-    dctcp.drain = Time::Millis(400);
-    dibs.drain = Time::Millis(400);
-    const ComparisonRow row = CompareSchemes(dctcp, dibs);
+  for (int qps : rates) {
+    const std::string q = std::to_string(qps);
+    const RunRecord& dctcp = FindRecord(records, {{"scheme", "dctcp"}, {"qps", q}});
+    const RunRecord& dibs = FindRecord(records, {{"scheme", "dibs"}, {"qps", q}});
     table.PrintRow({TablePrinter::Int(static_cast<uint64_t>(qps)),
-                    TablePrinter::Num(row.dctcp_qct99), TablePrinter::Num(row.dibs_qct99),
-                    TablePrinter::Num(row.dctcp_bgfct99), TablePrinter::Num(row.dibs_bgfct99),
-                    TablePrinter::Num(row.dibs.detoured_fraction, 3),
-                    TablePrinter::Int(row.dibs.drops)});
+                    TablePrinter::Num(dctcp.result.qct99_ms),
+                    TablePrinter::Num(dibs.result.qct99_ms),
+                    TablePrinter::Num(dctcp.result.bg_fct99_ms),
+                    TablePrinter::Num(dibs.result.bg_fct99_ms),
+                    TablePrinter::Num(dibs.result.detoured_fraction, 3),
+                    TablePrinter::Int(dibs.result.drops)});
   }
   return 0;
 }

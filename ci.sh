@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# CI entry point: tier-1 build + tests, then a ThreadSanitizer build that
+# exercises the sweep engine's worker pool (tests/exp) so data races in the
+# threaded layer fail the pipeline. Usage: ./ci.sh [jobs]
+set -euo pipefail
+cd "$(dirname "$0")"
+
+JOBS="${1:-$(nproc)}"
+
+echo "== tier-1: default build + full test suite =="
+cmake -B build -S . >/dev/null
+cmake --build build -j"$JOBS"
+ctest --test-dir build --output-on-failure -j"$JOBS"
+
+echo "== tsan: sweep engine under ThreadSanitizer =="
+cmake -B build-tsan -S . -DDIBS_SANITIZE=thread >/dev/null
+cmake --build build-tsan -j"$JOBS" --target exp_test
+# Multiple worker threads even on small CI machines, so claim/flush paths
+# actually interleave under TSan.
+TSAN_OPTIONS="halt_on_error=1" DIBS_JOBS=4 ./build-tsan/tests/exp_test
+
+echo "== ci.sh: all green =="

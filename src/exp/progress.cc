@@ -1,0 +1,50 @@
+#include "src/exp/progress.h"
+
+#include <unistd.h>
+
+#include <cstdio>
+
+namespace dibs {
+
+ProgressReporter::ProgressReporter(std::string name, size_t total, bool enabled)
+    : name_(std::move(name)),
+      total_(total),
+      enabled_(enabled),
+      tty_(isatty(fileno(stderr)) != 0),
+      start_(std::chrono::steady_clock::now()) {}
+
+void ProgressReporter::PrintLine(size_t done, size_t ok, size_t failed,
+                                 size_t timeout, bool last) {
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start_).count();
+  std::fprintf(stderr, "%s[sweep %s] %zu/%zu done", tty_ ? "\r" : "", name_.c_str(),
+               done, total_);
+  if (failed != 0 || timeout != 0) {
+    std::fprintf(stderr, " (ok %zu, failed %zu, timeout %zu)", ok, failed, timeout);
+  }
+  std::fprintf(stderr, " in %.1fs%s", elapsed, tty_ && !last ? "" : "\n");
+  std::fflush(stderr);
+}
+
+void ProgressReporter::Update(size_t done, size_t ok, size_t failed, size_t timeout) {
+  if (!enabled_ || done >= total_) {
+    return;  // the final line comes from Finish()
+  }
+  if (tty_) {
+    PrintLine(done, ok, failed, timeout, /*last=*/false);
+    return;
+  }
+  if (done >= next_milestone_) {
+    PrintLine(done, ok, failed, timeout, /*last=*/false);
+    next_milestone_ = done + (total_ + 9) / 10;
+  }
+}
+
+void ProgressReporter::Finish(size_t ok, size_t failed, size_t timeout) {
+  if (!enabled_) {
+    return;
+  }
+  PrintLine(ok + failed + timeout, ok, failed, timeout, /*last=*/true);
+}
+
+}  // namespace dibs

@@ -1,0 +1,39 @@
+// Sweep progress meter on stderr. On a terminal it rewrites one line in
+// place; when stderr is a pipe (CI logs) it prints at ~10% milestones so
+// logs stay short. stdout is never touched, so bench tables remain
+// byte-identical with the meter on.
+
+#ifndef SRC_EXP_PROGRESS_H_
+#define SRC_EXP_PROGRESS_H_
+
+#include <chrono>
+#include <cstddef>
+#include <string>
+
+namespace dibs {
+
+class ProgressReporter {
+ public:
+  // `enabled` false turns every call into a no-op.
+  ProgressReporter(std::string name, size_t total, bool enabled);
+
+  // Caller (the sweep engine) serializes calls; this class keeps no lock.
+  void Update(size_t done, size_t ok, size_t failed, size_t timeout);
+
+  // Prints the final summary line (always, even off-tty) and a newline.
+  void Finish(size_t ok, size_t failed, size_t timeout);
+
+ private:
+  void PrintLine(size_t done, size_t ok, size_t failed, size_t timeout, bool last);
+
+  std::string name_;
+  size_t total_;
+  bool enabled_;
+  bool tty_;
+  size_t next_milestone_ = 0;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace dibs
+
+#endif  // SRC_EXP_PROGRESS_H_

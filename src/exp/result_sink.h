@@ -1,0 +1,95 @@
+// Structured export for sweep results. The engine delivers RunRecords to a
+// sink strictly in matrix order (index 0, 1, 2, ...) no matter which worker
+// finished first, so any sink's output is deterministic for a given spec.
+//
+// JSONL schema (one object per line; see EXPERIMENTS.md "Result schema"):
+//   {"sweep":..., "run":..., "axes":{name:label,...}, "replication":...,
+//    "seed":..., "status":"ok|failed|timeout", "error":..., "wall_ms":...,
+//    "events_per_sec":..., "result":{<every ScenarioResult field>}}
+// CSV carries the same scalar fields flattened; the ScenarioResult vector
+// fields (monitor time series) are JSONL-only.
+
+#ifndef SRC_EXP_RESULT_SINK_H_
+#define SRC_EXP_RESULT_SINK_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "src/exp/run_record.h"
+
+namespace dibs {
+
+class ResultSink {
+ public:
+  virtual ~ResultSink() = default;
+
+  // Called once per run, in run-index order.
+  virtual void OnRecord(const RunRecord& record) = 0;
+
+  // Called once after the last record. Default: nothing.
+  virtual void Finish() {}
+};
+
+// Collects records in memory; what the benches use to print their tables.
+class MemorySink : public ResultSink {
+ public:
+  void OnRecord(const RunRecord& record) override { records_.push_back(record); }
+
+  const std::vector<RunRecord>& records() const { return records_; }
+
+ private:
+  std::vector<RunRecord> records_;
+};
+
+// One JSON object per record per line. Doubles are printed with round-trip
+// precision; NaN/inf (possible in percentile math on empty sets) map to null.
+class JsonlSink : public ResultSink {
+ public:
+  explicit JsonlSink(std::ostream& os) : os_(os) {}
+
+  void OnRecord(const RunRecord& record) override;
+  void Finish() override { os_.flush(); }
+
+ private:
+  std::ostream& os_;
+};
+
+// Flat scalar columns, one header row, RFC-4180-style quoting.
+class CsvSink : public ResultSink {
+ public:
+  explicit CsvSink(std::ostream& os) : os_(os) {}
+
+  // Axis coordinates are folded into one "axes" column
+  // ("scheme=dibs;buffer_pkts=100") so the header is sweep-independent.
+  void OnRecord(const RunRecord& record) override;
+  void Finish() override { os_.flush(); }
+
+ private:
+  std::ostream& os_;
+  bool wrote_header_ = false;
+};
+
+// Fans records out to several sinks (non-owning).
+class MultiSink : public ResultSink {
+ public:
+  explicit MultiSink(std::vector<ResultSink*> sinks) : sinks_(std::move(sinks)) {}
+
+  void OnRecord(const RunRecord& record) override {
+    for (ResultSink* s : sinks_) {
+      s->OnRecord(record);
+    }
+  }
+  void Finish() override {
+    for (ResultSink* s : sinks_) {
+      s->Finish();
+    }
+  }
+
+ private:
+  std::vector<ResultSink*> sinks_;
+};
+
+}  // namespace dibs
+
+#endif  // SRC_EXP_RESULT_SINK_H_

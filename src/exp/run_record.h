@@ -1,0 +1,66 @@
+// The unit of work and unit of result for the sweep engine: a RunSpec is one
+// expanded point of a SweepSpec's parameter matrix; a RunRecord is what the
+// engine hands to ResultSinks for it — the full ScenarioResult plus run
+// metadata (axis coordinates, seed, status, wall time, events/sec).
+
+#ifndef SRC_EXP_RUN_RECORD_H_
+#define SRC_EXP_RUN_RECORD_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/harness/config.h"
+#include "src/harness/scenario.h"
+
+namespace dibs {
+
+enum class RunStatus : uint8_t {
+  kOk = 0,
+  kFailed = 1,   // the run threw; RunRecord::error holds what()
+  kTimeout = 2,  // the run hit its wall-clock deadline or event budget
+};
+
+const char* RunStatusName(RunStatus status);
+
+// One coordinate of a run in the sweep matrix, e.g. {"buffer_pkts", "100"}.
+struct AxisPoint {
+  std::string axis;
+  std::string value;
+
+  friend bool operator==(const AxisPoint&, const AxisPoint&) = default;
+};
+
+struct RunSpec {
+  int index = 0;  // position in the expanded matrix; records keep this order
+  ExperimentConfig config;
+  std::vector<AxisPoint> points;
+  int replication = 0;
+
+  // Test hook: replaces the default "build a Scenario, Run(), return the
+  // result" body. Exceptions it throws are captured like real run failures.
+  std::function<ScenarioResult(const ExperimentConfig&)> runner;
+};
+
+struct RunRecord {
+  int index = 0;
+  std::string sweep;
+  std::vector<AxisPoint> points;
+  int replication = 0;
+  uint64_t seed = 0;
+
+  RunStatus status = RunStatus::kOk;
+  std::string error;
+
+  double wall_ms = 0;        // host wall-clock time for this run
+  double events_per_sec = 0; // simulator events per wall-clock second
+
+  ScenarioResult result;  // zero-initialized when status != kOk mid-build
+
+  // First matching axis value, or `fallback` when the axis is absent.
+  std::string PointValue(const std::string& axis, const std::string& fallback = "") const;
+};
+
+}  // namespace dibs
+
+#endif  // SRC_EXP_RUN_RECORD_H_

@@ -1,0 +1,188 @@
+#include "src/exp/sweep_engine.h"
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "src/exp/progress.h"
+#include "src/util/logging.h"
+
+namespace dibs {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+bool ProgressEnabled(bool default_on) {
+  if (const char* env = std::getenv("DIBS_PROGRESS"); env != nullptr) {
+    return env[0] != '0';
+  }
+  return default_on;
+}
+
+// Runs one spec to completion on the calling thread.
+RunRecord ExecuteRun(const RunSpec& run, const std::string& sweep_name,
+                     const SweepOptions& options) {
+  RunRecord rec;
+  rec.index = run.index;
+  rec.sweep = sweep_name;
+  rec.points = run.points;
+  rec.replication = run.replication;
+  rec.seed = run.config.seed;
+
+  SetThreadLogTag(sweep_name + "#" + std::to_string(run.index));
+  const Clock::time_point start = Clock::now();
+  try {
+    if (run.runner) {
+      rec.result = run.runner(run.config);
+    } else {
+      Scenario scenario(run.config);
+      Simulator& sim = scenario.sim();
+      if (options.event_budget != 0) {
+        sim.SetEventBudget(options.event_budget);
+      }
+      if (options.run_timeout_sec > 0) {
+        const Clock::time_point deadline =
+            start + std::chrono::duration_cast<Clock::duration>(
+                        std::chrono::duration<double>(options.run_timeout_sec));
+        sim.SetInterruptCheck([deadline] { return Clock::now() >= deadline; });
+      }
+      rec.result = scenario.Run();
+      if (sim.interrupted()) {
+        rec.status = RunStatus::kTimeout;
+        rec.error = "interrupted after " +
+                    std::to_string(rec.result.events_processed) + " events at t=" +
+                    std::to_string(sim.Now().ToMillis()) + "ms";
+      }
+    }
+  } catch (const std::exception& e) {
+    rec.status = RunStatus::kFailed;
+    rec.error = e.what();
+  } catch (...) {
+    rec.status = RunStatus::kFailed;
+    rec.error = "unknown exception";
+  }
+  SetThreadLogTag("");
+
+  const double wall_sec = std::chrono::duration<double>(Clock::now() - start).count();
+  rec.wall_ms = wall_sec * 1e3;
+  rec.events_per_sec =
+      wall_sec > 0 ? static_cast<double>(rec.result.events_processed) / wall_sec : 0;
+  if (rec.status != RunStatus::kOk) {
+    DIBS_LOG(kWarning) << "sweep " << sweep_name << " run " << run.index << " "
+                       << RunStatusName(rec.status) << ": " << rec.error;
+  }
+  return rec;
+}
+
+}  // namespace
+
+SweepEngine::SweepEngine(SweepOptions options) : options_(options) {}
+
+int SweepEngine::ResolveJobs(int requested) {
+  if (requested > 0) {
+    return requested;
+  }
+  if (const char* env = std::getenv("DIBS_JOBS"); env != nullptr) {
+    const int jobs = std::atoi(env);
+    if (jobs > 0) {
+      return jobs;
+    }
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+std::vector<RunRecord> SweepEngine::Run(const SweepSpec& spec, ResultSink* sink) {
+  return RunAll(spec.name, spec.Expand(), sink);
+}
+
+std::vector<RunRecord> SweepEngine::RunAll(const std::string& sweep_name,
+                                           std::vector<RunSpec> runs,
+                                           ResultSink* sink) {
+  const size_t n = runs.size();
+  for (size_t i = 0; i < n; ++i) {
+    runs[i].index = static_cast<int>(i);
+  }
+
+  std::vector<RunRecord> records(n);
+  if (n == 0) {
+    if (sink != nullptr) {
+      sink->Finish();
+    }
+    return records;
+  }
+
+  ProgressReporter progress(sweep_name.empty() ? "sweep" : sweep_name, n,
+                            ProgressEnabled(options_.progress && n > 1));
+
+  // Completion state. Workers execute runs in claim order but records are
+  // flushed to the sink strictly in index order: whoever completes run i
+  // stores it, then (under the lock) advances the contiguous-done frontier.
+  std::atomic<size_t> next_claim{0};
+  std::mutex mu;
+  std::vector<char> done(n, 0);
+  size_t flushed = 0;
+  size_t ok = 0;
+  size_t failed = 0;
+  size_t timeout = 0;
+
+  auto worker = [&] {
+    while (true) {
+      const size_t i = next_claim.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) {
+        return;
+      }
+      RunRecord rec = ExecuteRun(runs[i], sweep_name, options_);
+
+      std::lock_guard<std::mutex> lock(mu);
+      switch (rec.status) {
+        case RunStatus::kOk:
+          ++ok;
+          break;
+        case RunStatus::kFailed:
+          ++failed;
+          break;
+        case RunStatus::kTimeout:
+          ++timeout;
+          break;
+      }
+      records[i] = std::move(rec);
+      done[i] = 1;
+      while (flushed < n && done[flushed]) {
+        if (sink != nullptr) {
+          sink->OnRecord(records[flushed]);
+        }
+        ++flushed;
+      }
+      progress.Update(ok + failed + timeout, ok, failed, timeout);
+    }
+  };
+
+  const int jobs =
+      static_cast<int>(std::min<size_t>(static_cast<size_t>(ResolveJobs(options_.jobs)), n));
+  if (jobs <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<size_t>(jobs));
+    for (int t = 0; t < jobs; ++t) {
+      pool.emplace_back(worker);
+    }
+    for (std::thread& t : pool) {
+      t.join();
+    }
+  }
+
+  progress.Finish(ok, failed, timeout);
+  if (sink != nullptr) {
+    sink->Finish();
+  }
+  return records;
+}
+
+}  // namespace dibs

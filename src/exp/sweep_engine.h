@@ -1,0 +1,64 @@
+// The sweep engine: shards a SweepSpec's run matrix across a worker thread
+// pool, executes each run in its own isolated Scenario (one Simulator, one
+// RNG, one network per run — nothing is shared between workers), and
+// delivers RunRecords to an optional ResultSink in deterministic matrix
+// order. Per-run robustness guards: a wall-clock deadline and an event
+// budget interrupt a diverging simulation cooperatively (via
+// Simulator::SetInterruptCheck / SetEventBudget) and mark the row
+// `timeout`; a thrown exception marks it `failed`; neither kills the sweep.
+
+#ifndef SRC_EXP_SWEEP_ENGINE_H_
+#define SRC_EXP_SWEEP_ENGINE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/exp/result_sink.h"
+#include "src/exp/run_record.h"
+#include "src/exp/sweep_spec.h"
+
+namespace dibs {
+
+struct SweepOptions {
+  // Worker threads. 0 resolves to $DIBS_JOBS, falling back to
+  // std::thread::hardware_concurrency(); always clamped to [1, run count].
+  int jobs = 0;
+
+  // Per-run wall-clock deadline in seconds; 0 disables. Checked inside the
+  // simulator event loop, so a hung run stops within ~one check interval.
+  double run_timeout_sec = 0;
+
+  // Per-run cap on simulator events processed; 0 disables.
+  uint64_t event_budget = 0;
+
+  // Progress meter on stderr ($DIBS_PROGRESS=0/1 overrides; default on for
+  // multi-run sweeps).
+  bool progress = true;
+};
+
+class SweepEngine {
+ public:
+  explicit SweepEngine(SweepOptions options = {});
+
+  // Expands the spec and runs it. Returns all records in matrix order; the
+  // sink (optional) sees the same records in the same order, streamed as
+  // soon as each record's predecessors are complete.
+  std::vector<RunRecord> Run(const SweepSpec& spec, ResultSink* sink = nullptr);
+
+  // Lower-level entry: runs an explicit list (e.g. an expanded spec plus
+  // hand-appended reference runs). RunSpec::index is reassigned to list
+  // order; seeds are taken from each RunSpec's config verbatim.
+  std::vector<RunRecord> RunAll(const std::string& sweep_name,
+                                std::vector<RunSpec> runs,
+                                ResultSink* sink = nullptr);
+
+  // The effective worker count for `requested` (0 = env/hardware default).
+  static int ResolveJobs(int requested);
+
+ private:
+  SweepOptions options_;
+};
+
+}  // namespace dibs
+
+#endif  // SRC_EXP_SWEEP_ENGINE_H_

@@ -1,0 +1,66 @@
+// Declarative description of a parameter sweep: a base ExperimentConfig,
+// axes of labeled config overrides, and a replication count with derived
+// per-run seeds. Expand() produces the full run matrix (cross product of all
+// axes x replications) in a deterministic order, which is the order sinks
+// see records in regardless of how many workers execute the runs.
+
+#ifndef SRC_EXP_SWEEP_SPEC_H_
+#define SRC_EXP_SWEEP_SPEC_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/exp/run_record.h"
+#include "src/harness/config.h"
+
+namespace dibs {
+
+// One sweep dimension. Values are applied to a copy of the base config in
+// axis declaration order, so an earlier axis may replace the whole config
+// (scheme presets) and later axes refine it (numeric parameters).
+struct SweepAxis {
+  struct Value {
+    std::string label;
+    std::function<void(ExperimentConfig&)> apply;
+  };
+
+  std::string name;
+  std::vector<Value> values;
+
+  // Convenience: numeric axis from a value list and a field setter.
+  template <typename T>
+  static SweepAxis Of(std::string name, const std::vector<T>& values,
+                      std::function<void(ExperimentConfig&, T)> apply) {
+    SweepAxis axis;
+    axis.name = std::move(name);
+    for (const T& v : values) {
+      axis.values.push_back({std::to_string(v), [apply, v](ExperimentConfig& c) {
+                               apply(c, v);
+                             }});
+    }
+    return axis;
+  }
+};
+
+struct SweepSpec {
+  std::string name;
+  ExperimentConfig base;
+  std::vector<SweepAxis> axes;
+
+  // Each matrix point runs `replications` times; replication r uses seed
+  // `seed + r`, overriding whatever the axis mutators left in the config.
+  int replications = 1;
+  uint64_t seed = 1;
+
+  // Total runs: product of axis sizes x replications (empty axes count as 1).
+  size_t RunCount() const;
+
+  // Cross product in row-major order: first axis slowest, replication
+  // fastest. Every RunSpec carries its axis coordinates as labeled points.
+  std::vector<RunSpec> Expand() const;
+};
+
+}  // namespace dibs
+
+#endif  // SRC_EXP_SWEEP_SPEC_H_

@@ -121,6 +121,7 @@ ScenarioResult Scenario::Run() {
           ? 0.0
           : static_cast<double>(detour_recorder_.query_detours()) /
                 static_cast<double>(detour_recorder_.total_detours());
+  r.detour_count_p99 = detour_recorder_.DetourCountQuantile(0.99);
   r.retransmits = recorder_.total_retransmits();
   r.timeouts = recorder_.total_timeouts();
   if (link_monitor_ != nullptr) {

@@ -41,6 +41,7 @@ struct ScenarioResult {
   uint64_t delivered_packets = 0;
   double detoured_fraction = 0;      // fraction of delivered packets detoured
   double query_detour_share = 0;     // detours belonging to query traffic
+  double detour_count_p99 = 0;       // per-packet detour-count 99th pct (§5.4.4)
   uint64_t retransmits = 0;
   uint64_t timeouts = 0;
 

@@ -47,9 +47,28 @@ bool Simulator::RunOneEvent() {
   return false;
 }
 
+void Simulator::SetInterruptCheck(std::function<bool()> check, uint64_t check_every) {
+  DIBS_CHECK_GT(check_every, 0u);
+  interrupt_check_ = std::move(check);
+  check_every_ = check_every;
+}
+
+bool Simulator::CheckInterrupt() {
+  if (interrupted_) {
+    return true;
+  }
+  if (event_budget_ != 0 && events_processed_ >= event_budget_) {
+    interrupted_ = true;
+  } else if (interrupt_check_ && events_processed_ % check_every_ == 0 &&
+             interrupt_check_()) {
+    interrupted_ = true;
+  }
+  return interrupted_;
+}
+
 void Simulator::Run() {
   stopped_ = false;
-  while (!stopped_ && RunOneEvent()) {
+  while (!stopped_ && !CheckInterrupt() && RunOneEvent()) {
   }
 }
 
@@ -57,6 +76,9 @@ void Simulator::RunUntil(Time until) {
   DIBS_CHECK(until >= now_);
   stopped_ = false;
   while (!stopped_ && !queue_.empty()) {
+    if (CheckInterrupt()) {
+      break;
+    }
     // Peek through cancelled entries without running live ones early.
     if (cancelled_.count(queue_.top().id) > 0) {
       cancelled_.erase(queue_.top().id);
@@ -68,7 +90,9 @@ void Simulator::RunUntil(Time until) {
     }
     RunOneEvent();
   }
-  if (!stopped_ && now_ < until) {
+  // An interrupted run leaves Now() at the last executed event rather than
+  // jumping to `until`; the partial clock is part of the failure report.
+  if (!stopped_ && !interrupted_ && now_ < until) {
     now_ = until;
   }
 }

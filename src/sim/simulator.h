@@ -57,6 +57,24 @@ class Simulator {
   // Makes Run*() return after the current event completes.
   void Stop() { stopped_ = true; }
 
+  // --- Cooperative cancellation (used by the sweep engine, src/exp) ---
+  //
+  // A budget or interrupt check makes a runaway simulation abandon its run
+  // cleanly: Run*() returns after the current event, interrupted() flips to
+  // true, and the caller decides what to do with the partial state. Both are
+  // off by default and cost nothing when unset.
+
+  // Hard cap on total events processed; 0 means unlimited.
+  void SetEventBudget(uint64_t max_events) { event_budget_ = max_events; }
+
+  // `check` is polled every `check_every` events; returning true interrupts
+  // the run. The sweep engine installs a wall-clock deadline here.
+  void SetInterruptCheck(std::function<bool()> check, uint64_t check_every = 4096);
+
+  // True once a budget or interrupt check has fired. Sticky: later Run*()
+  // calls return immediately until the budget/check is cleared.
+  bool interrupted() const { return interrupted_; }
+
   Rng& rng() { return rng_; }
 
   uint64_t events_processed() const { return events_processed_; }
@@ -81,10 +99,17 @@ class Simulator {
   // Pops and runs the earliest event. Returns false when the queue is empty.
   bool RunOneEvent();
 
+  // Applies the event budget / interrupt check; true when the run must stop.
+  bool CheckInterrupt();
+
   Time now_;
   EventId next_id_ = 1;
   uint64_t events_processed_ = 0;
   bool stopped_ = false;
+  bool interrupted_ = false;
+  uint64_t event_budget_ = 0;
+  uint64_t check_every_ = 4096;
+  std::function<bool()> interrupt_check_;
   std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
   std::unordered_set<EventId> cancelled_;
   Rng rng_;

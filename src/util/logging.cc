@@ -1,9 +1,20 @@
 #include "src/util/logging.h"
 
+#include <atomic>
+#include <mutex>
+
 namespace dibs {
 namespace {
 
-LogLevel g_level = LogLevel::kWarning;
+std::atomic<LogLevel> g_level{LogLevel::kWarning};
+
+// Guards emission so lines from concurrent sweep workers never interleave.
+std::mutex& EmitMutex() {
+  static std::mutex mutex;
+  return mutex;
+}
+
+thread_local std::string tl_log_tag;
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -34,11 +45,20 @@ const char* Basename(const char* path) {
   return base;
 }
 
+void Emit(const std::string& line) {
+  std::lock_guard<std::mutex> lock(EmitMutex());
+  std::cerr << line;
+}
+
 }  // namespace
 
-LogLevel GetLogLevel() { return g_level; }
+LogLevel GetLogLevel() { return g_level.load(std::memory_order_relaxed); }
 
-void SetLogLevel(LogLevel level) { g_level = level; }
+void SetLogLevel(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
+
+void SetThreadLogTag(const std::string& tag) { tl_log_tag = tag; }
+
+const std::string& ThreadLogTag() { return tl_log_tag; }
 
 LogLevel ParseLogLevel(const std::string& name) {
   if (name == "trace") {
@@ -63,23 +83,30 @@ namespace internal {
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line) : level_(level) {
   stream_ << "[" << LevelName(level) << " " << Basename(file) << ":" << line << "] ";
+  if (!tl_log_tag.empty()) {
+    stream_ << "[" << tl_log_tag << "] ";
+  }
 }
 
 LogMessage::~LogMessage() {
   stream_ << "\n";
-  std::cerr << stream_.str();
+  Emit(stream_.str());
   if (level_ == LogLevel::kFatal) {
     std::abort();
   }
 }
 
 FatalMessage::FatalMessage(const char* file, int line, const char* condition) {
-  stream_ << "[CHECK " << Basename(file) << ":" << line << "] failed: " << condition << " ";
+  stream_ << "[CHECK " << Basename(file) << ":" << line << "] ";
+  if (!tl_log_tag.empty()) {
+    stream_ << "[" << tl_log_tag << "] ";
+  }
+  stream_ << "failed: " << condition << " ";
 }
 
 FatalMessage::~FatalMessage() {
   stream_ << "\n";
-  std::cerr << stream_.str();
+  Emit(stream_.str());
   std::abort();
 }
 

@@ -1,9 +1,12 @@
 // Minimal logging and assertion support for the DIBS library.
 //
-// The library is single-threaded by design (the simulator is a deterministic
-// discrete-event engine), so the logger keeps no locks. Severity can be
-// adjusted at runtime via SetLogLevel(), and everything below the active
-// level compiles down to a short-circuited stream that is never evaluated.
+// Each simulation is single-threaded (the simulator is a deterministic
+// discrete-event engine), but the sweep engine (src/exp) runs many
+// simulations on worker threads, so the logger is thread-safe: the active
+// level is atomic and emission is mutex-guarded so concurrent log lines
+// never interleave. Sweep workers tag their lines with a per-run id via
+// SetThreadLogTag(). Everything below the active level compiles down to a
+// short-circuited stream that is never evaluated.
 
 #ifndef SRC_UTIL_LOGGING_H_
 #define SRC_UTIL_LOGGING_H_
@@ -33,6 +36,12 @@ void SetLogLevel(LogLevel level);
 // Parses a level name ("trace", "debug", "info", "warning", "error", "fatal").
 // Unknown names return kInfo.
 LogLevel ParseLogLevel(const std::string& name);
+
+// Tags every log line emitted from the calling thread with `tag` (e.g. the
+// sweep engine sets "fig07#12" while executing run 12). An empty tag clears
+// it. Thread-local; threads start untagged.
+void SetThreadLogTag(const std::string& tag);
+const std::string& ThreadLogTag();
 
 namespace internal {
 

@@ -1,0 +1,203 @@
+// Sweep engine contract tests: expansion order and derived seeds, result
+// determinism under parallelism (the acceptance bar for converting the
+// figure benches), ordered sink delivery, and the failure-isolation paths
+// (exception capture, event budget, wall-clock deadline).
+
+#include "src/exp/sweep_engine.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <stdexcept>
+#include <thread>
+
+#include "src/exp/result_sink.h"
+#include "src/exp/sweep_spec.h"
+#include "src/harness/config.h"
+
+namespace dibs {
+namespace {
+
+// Small enough for many runs per test, big enough to exercise the full
+// scenario path (fat-tree, incast queries, background flows).
+ExperimentConfig Tiny(ExperimentConfig c) {
+  c.fat_tree_k = 4;  // 16 hosts
+  c.incast_degree = 8;
+  c.qps = 400;
+  c.response_bytes = 4000;
+  c.bg_interarrival = Time::Millis(40);
+  c.duration = Time::Millis(60);
+  c.drain = Time::Millis(40);
+  c.seed = 7;
+  return c;
+}
+
+SweepSpec TinySweep() {
+  SweepSpec spec;
+  spec.name = "test";
+  spec.base = Tiny(DctcpConfig());
+  SweepAxis scheme;
+  scheme.name = "scheme";
+  scheme.values.push_back({"dctcp", [](ExperimentConfig& c) { c = Tiny(DctcpConfig()); }});
+  scheme.values.push_back({"dibs", [](ExperimentConfig& c) { c = Tiny(DibsConfig()); }});
+  spec.axes.push_back(std::move(scheme));
+  spec.axes.push_back(SweepAxis::Of<int>(
+      "degree", {4, 8}, [](ExperimentConfig& c, int d) { c.incast_degree = d; }));
+  spec.seed = 11;
+  return spec;
+}
+
+void ExpectSameResult(const ScenarioResult& a, const ScenarioResult& b) {
+  EXPECT_DOUBLE_EQ(a.qct99_ms, b.qct99_ms);
+  EXPECT_DOUBLE_EQ(a.bg_fct99_ms, b.bg_fct99_ms);
+  EXPECT_DOUBLE_EQ(a.detoured_fraction, b.detoured_fraction);
+  EXPECT_DOUBLE_EQ(a.detour_count_p99, b.detour_count_p99);
+  EXPECT_EQ(a.queries_completed, b.queries_completed);
+  EXPECT_EQ(a.flows_completed, b.flows_completed);
+  EXPECT_EQ(a.drops, b.drops);
+  EXPECT_EQ(a.detours, b.detours);
+  EXPECT_EQ(a.retransmits, b.retransmits);
+  EXPECT_EQ(a.timeouts, b.timeouts);
+  EXPECT_EQ(a.events_processed, b.events_processed);
+}
+
+TEST(SweepSpecTest, ExpandOrderCoordinatesAndSeeds) {
+  SweepSpec spec = TinySweep();
+  spec.replications = 2;
+  const std::vector<RunSpec> runs = spec.Expand();
+  ASSERT_EQ(runs.size(), 2u * 2u * 2u);
+  EXPECT_EQ(spec.RunCount(), runs.size());
+
+  // First axis slowest, replication fastest.
+  EXPECT_EQ(runs[0].points,
+            (std::vector<AxisPoint>{{"scheme", "dctcp"}, {"degree", "4"}}));
+  EXPECT_EQ(runs[0].replication, 0);
+  EXPECT_EQ(runs[1].points, runs[0].points);
+  EXPECT_EQ(runs[1].replication, 1);
+  EXPECT_EQ(runs[2].points,
+            (std::vector<AxisPoint>{{"scheme", "dctcp"}, {"degree", "8"}}));
+  EXPECT_EQ(runs[7].points,
+            (std::vector<AxisPoint>{{"scheme", "dibs"}, {"degree", "8"}}));
+
+  for (const RunSpec& run : runs) {
+    EXPECT_EQ(run.index, &run - runs.data());
+    // Replication seeds derive from the spec seed even though the scheme
+    // axis replaced the whole config (which carried its own seed).
+    EXPECT_EQ(run.config.seed, spec.seed + static_cast<uint64_t>(run.replication));
+  }
+  EXPECT_EQ(runs[2].config.incast_degree, 8);
+}
+
+TEST(SweepEngineTest, ParallelRunsMatchSerialRuns) {
+  SweepOptions serial;
+  serial.jobs = 1;
+  serial.progress = false;
+  SweepOptions parallel;
+  parallel.jobs = 4;
+  parallel.progress = false;
+
+  const std::vector<RunRecord> a = SweepEngine(serial).Run(TinySweep());
+  const std::vector<RunRecord> b = SweepEngine(parallel).Run(TinySweep());
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].index, static_cast<int>(i));
+    EXPECT_EQ(b[i].index, static_cast<int>(i));
+    EXPECT_EQ(a[i].points, b[i].points);
+    EXPECT_EQ(a[i].seed, b[i].seed);
+    EXPECT_EQ(a[i].status, RunStatus::kOk);
+    EXPECT_EQ(b[i].status, RunStatus::kOk);
+    ExpectSameResult(a[i].result, b[i].result);
+  }
+}
+
+TEST(SweepEngineTest, SinkSeesRecordsInMatrixOrderUnderParallelism) {
+  // Stub runners with inverted sleep times force out-of-order completion;
+  // the sink must still observe index order.
+  std::vector<RunSpec> runs(8);
+  for (size_t i = 0; i < runs.size(); ++i) {
+    const int sleep_ms = static_cast<int>((runs.size() - i) * 3);
+    runs[i].runner = [sleep_ms](const ExperimentConfig&) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
+      return ScenarioResult{};
+    };
+  }
+  SweepOptions opts;
+  opts.jobs = 4;
+  opts.progress = false;
+  MemorySink sink;
+  SweepEngine(opts).RunAll("order", std::move(runs), &sink);
+  ASSERT_EQ(sink.records().size(), 8u);
+  for (size_t i = 0; i < sink.records().size(); ++i) {
+    EXPECT_EQ(sink.records()[i].index, static_cast<int>(i));
+  }
+}
+
+TEST(SweepEngineTest, ExceptionMarksRowFailedWithoutKillingSweep) {
+  std::vector<RunSpec> runs(4);
+  for (size_t i = 0; i < runs.size(); ++i) {
+    if (i == 1) {
+      runs[i].runner = [](const ExperimentConfig&) -> ScenarioResult {
+        throw std::runtime_error("diverged");
+      };
+    } else {
+      runs[i].runner = [](const ExperimentConfig&) {
+        ScenarioResult r;
+        r.queries_completed = 5;
+        return r;
+      };
+    }
+  }
+  SweepOptions opts;
+  opts.jobs = 2;
+  opts.progress = false;
+  const std::vector<RunRecord> records = SweepEngine(opts).RunAll("fail", std::move(runs));
+  ASSERT_EQ(records.size(), 4u);
+  EXPECT_EQ(records[1].status, RunStatus::kFailed);
+  EXPECT_EQ(records[1].error, "diverged");
+  for (size_t i : {0u, 2u, 3u}) {
+    EXPECT_EQ(records[i].status, RunStatus::kOk);
+    EXPECT_EQ(records[i].result.queries_completed, 5u);
+  }
+}
+
+TEST(SweepEngineTest, EventBudgetMarksRowTimeout) {
+  SweepSpec spec;
+  spec.name = "budget";
+  spec.base = Tiny(DibsConfig());
+  SweepOptions opts;
+  opts.jobs = 1;
+  opts.progress = false;
+  opts.event_budget = 2000;
+  const std::vector<RunRecord> records = SweepEngine(opts).Run(spec);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].status, RunStatus::kTimeout);
+  EXPECT_FALSE(records[0].error.empty());
+  // The run stopped at the budget, far short of a full run (~100k+ events).
+  EXPECT_LE(records[0].result.events_processed, opts.event_budget + 1);
+}
+
+TEST(SweepEngineTest, WallClockDeadlineMarksRowTimeout) {
+  SweepSpec spec;
+  spec.name = "deadline";
+  spec.base = Tiny(DibsConfig());
+  SweepOptions opts;
+  opts.jobs = 1;
+  opts.progress = false;
+  opts.run_timeout_sec = 1e-9;  // expires before the first deadline check
+  const std::vector<RunRecord> records = SweepEngine(opts).Run(spec);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].status, RunStatus::kTimeout);
+}
+
+TEST(SweepEngineTest, ResolveJobsPrefersExplicitThenEnvThenHardware) {
+  EXPECT_EQ(SweepEngine::ResolveJobs(5), 5);
+  setenv("DIBS_JOBS", "3", /*overwrite=*/1);
+  EXPECT_EQ(SweepEngine::ResolveJobs(0), 3);
+  EXPECT_EQ(SweepEngine::ResolveJobs(2), 2);  // explicit beats env
+  unsetenv("DIBS_JOBS");
+  EXPECT_GE(SweepEngine::ResolveJobs(0), 1);
+}
+
+}  // namespace
+}  // namespace dibs
