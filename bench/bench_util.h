@@ -11,6 +11,9 @@
 //   DIBS_RUN_TIMEOUT_SEC    per-run wall-clock cap (default: none)
 //   DIBS_SWEEP_JSONL        append every RunRecord as JSONL to this file
 //   DIBS_SWEEP_CSV          append every RunRecord as CSV to this file
+//   DIBS_REQUIRE_OK         abort if any run fails or times out; CI sets it
+//                           so DIBS_VALIDATE violations inside sweep runs
+//                           (surfaced as failed records) fail the pipeline
 
 #ifndef BENCH_BENCH_UTIL_H_
 #define BENCH_BENCH_UTIL_H_
@@ -85,7 +88,16 @@ inline std::vector<RunRecord> RunBenchRuns(const std::string& name,
   }
   MultiSink multi(std::move(sinks));
   SweepEngine engine(BenchSweepOptions());
-  return engine.RunAll(name, std::move(runs), &multi);
+  std::vector<RunRecord> records = engine.RunAll(name, std::move(runs), &multi);
+  if (const char* env = std::getenv("DIBS_REQUIRE_OK"); env != nullptr && env[0] != '0') {
+    for (const RunRecord& r : records) {
+      if (r.status != RunStatus::kOk) {
+        DIBS_LOG(kFatal) << "DIBS_REQUIRE_OK: sweep '" << name << "' run " << r.index
+                         << " finished " << RunStatusName(r.status) << ": " << r.error;
+      }
+    }
+  }
+  return records;
 }
 
 // Expands a declarative spec (applying the bench seed) and runs it.

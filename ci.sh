@@ -1,16 +1,63 @@
 #!/usr/bin/env bash
-# CI entry point: tier-1 build + tests, then a ThreadSanitizer build that
-# exercises the sweep engine's worker pool (tests/exp) so data races in the
-# threaded layer fail the pipeline. Usage: ./ci.sh [jobs]
+# CI entry point. Stages, in order:
+#
+#   1. determinism lint   — tools/determinism_lint.py bans rand()/
+#                           random_device/wall-clock/unordered-iteration on
+#                           the simulation path.
+#   2. format check       — clang-format --dry-run over the tree (skipped
+#                           when clang-format is not installed).
+#   3. tier-1             — default build + full ctest suite.
+#   4. clang-tidy         — `tidy` target over src/ using the tier-1 build's
+#                           compile_commands.json (skips itself when
+#                           clang-tidy is not installed).
+#   5. asan+ubsan         — full ctest suite under ASan+UBSan with
+#                           DIBS_VALIDATE=1, so every scenario test also
+#                           runs the invariant checker and its conservation
+#                           ledger must balance.
+#   6. fig11 smoke        — the incast-degree figure bench end-to-end with
+#                           DIBS_VALIDATE=1 and DIBS_REQUIRE_OK=1 (any run
+#                           a validation throw fails is fatal), on the
+#                           tier-1 build tree.
+#   7. tsan               — sweep engine under ThreadSanitizer (tests/exp)
+#                           so data races in the threaded layer fail the
+#                           pipeline.
+#
+# Build trees are shared across stages (build/, build-asan/, build-tsan/ are
+# incremental across CI runs) to keep wall-clock bounded.
+#
+# Usage: ./ci.sh [jobs]
 set -euo pipefail
 cd "$(dirname "$0")"
 
 JOBS="${1:-$(nproc)}"
 
+echo "== lint: determinism rules =="
+python3 tools/determinism_lint.py
+
+echo "== format: clang-format check =="
+if command -v clang-format >/dev/null 2>&1; then
+  find src tests bench examples -name '*.h' -o -name '*.cc' -o -name '*.cpp' \
+    | xargs clang-format --dry-run --Werror
+else
+  echo "clang-format not found, skipping"
+fi
+
 echo "== tier-1: default build + full test suite =="
 cmake -B build -S . >/dev/null
 cmake --build build -j"$JOBS"
 ctest --test-dir build --output-on-failure -j"$JOBS"
+
+echo "== tidy: clang-tidy over src/ =="
+cmake --build build --target tidy
+
+echo "== asan+ubsan: full test suite with DIBS_VALIDATE=1 =="
+cmake -B build-asan -S . -DDIBS_SANITIZE=address,undefined >/dev/null
+cmake --build build-asan -j"$JOBS"
+ASAN_OPTIONS="halt_on_error=1:detect_leaks=1" UBSAN_OPTIONS="halt_on_error=1" \
+  DIBS_VALIDATE=1 ctest --test-dir build-asan --output-on-failure -j"$JOBS"
+
+echo "== smoke: fig11 incast-degree bench with DIBS_VALIDATE=1 =="
+DIBS_VALIDATE=1 DIBS_REQUIRE_OK=1 DIBS_BENCH_DURATION_MS=50 ./build/bench/fig11_incast_degree
 
 echo "== tsan: sweep engine under ThreadSanitizer =="
 cmake -B build-tsan -S . -DDIBS_SANITIZE=thread >/dev/null

@@ -9,10 +9,17 @@ namespace dibs {
 
 bool HostNode::Send(Packet&& p) {
   DIBS_DCHECK(p.src == host_id_);
-  if (!port_->EnqueueAndTransmit(std::move(p))) {
+  // Same admission contract as the switch pipeline: consult IsFull first and
+  // never Enqueue into a full queue. Checking up front also means the
+  // injection notification below only fires for packets the network actually
+  // accepted — a refused packet never enters the conservation ledger.
+  if (port_->queue().IsFull(p)) {
     ++nic_drops_;
     return false;
   }
+  network_->NotifyHostSend(host_id_, p);
+  const bool accepted = port_->EnqueueAndTransmit(std::move(p));
+  DIBS_CHECK(accepted) << "host NIC queue refused a packet that reported room";
   return true;
 }
 

@@ -1,0 +1,108 @@
+// DIBS_VALIDATE network-wide packet-conservation ledger.
+//
+// The checker observes every packet the hosts inject (OnHostSend fires after
+// a NIC accepts a packet) and every terminal event (delivery or drop, TTL
+// expiry being a counted drop reason), and enforces:
+//
+//  * every injected uid is injected exactly once;
+//  * every injected packet reaches AT MOST one terminal state — a second
+//    delivery or drop of the same uid throws immediately;
+//  * a packet's detour count never exceeds the switch hops it has consumed
+//    (each detour burns one TTL decrement, §5.5.3), and its TTL never grows;
+//  * at quiescence, every injected packet reached EXACTLY one terminal state
+//    (CheckQuiescent), and at any event boundary the in-flight population
+//    equals buffered-in-queues + on-the-wire (CheckBalanced) — a leaked or
+//    duplicated packet shows up as a nonzero balance.
+//
+// Packets that enter the network without passing a host NIC (tests that
+// enqueue on switch ports directly) are counted as untracked and exempt from
+// the per-uid ledger; scenario traffic is always tracked.
+//
+// The Network auto-installs one checker when validation is enabled, so
+// `DIBS_VALIDATE=1 ctest` exercises the ledger everywhere. Violations throw
+// ValidationError with the packet's description (including its path trace
+// when tracing is on).
+
+#ifndef SRC_DEVICE_INVARIANT_CHECKER_H_
+#define SRC_DEVICE_INVARIANT_CHECKER_H_
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "src/device/observer.h"
+#include "src/util/validation.h"
+
+namespace dibs {
+
+class InvariantChecker : public NetworkObserver {
+ public:
+  void OnHostSend(HostId host, const Packet& p, Time at) override;
+  void OnDetour(int node, uint16_t detour_port, const Packet& p, Time at) override;
+  void OnDrop(int node, const Packet& p, DropReason reason, Time at) override;
+  void OnHostDeliver(HostId host, const Packet& p, Time at) override;
+
+  // A pFabric queue destroyed `p` on overflow (arriving loser or evicted
+  // worst packet) — a terminal state the drop path never sees. The Network
+  // wires PfabricQueue::SetEvictionHandler here when validation is on.
+  void OnEvicted(const Packet& p);
+
+  // Wire accounting: a port calls these when a packet leaves its transmitter
+  // and when it lands at the peer, so CheckBalanced can account for packets
+  // that are neither queued nor terminal.
+  void OnWireEnter(const Packet& p);
+  void OnWireExit(const Packet& p);
+
+  // Throws unless injected == delivered + dropped exactly (no packet still in
+  // flight, none lost without a terminal event). Call only when the
+  // simulation has fully drained.
+  void CheckQuiescent() const;
+
+  // Conservation at an event boundary: every in-flight tracked packet must be
+  // buffered in some queue or on some wire. `buffered_packets` is the
+  // network-wide queue occupancy (Network::TotalBufferedPackets), which also
+  // counts untracked packets — so the balance check requires
+  // in_flight <= buffered + on_wire, with equality when nothing untracked is
+  // buffered (`untracked` false). Throws on imbalance.
+  void CheckBalanced(uint64_t buffered_packets) const;
+
+  uint64_t injected() const { return injected_; }
+  uint64_t delivered() const { return delivered_; }
+  uint64_t dropped() const { return dropped_; }
+  uint64_t ttl_dropped() const { return ttl_dropped_; }
+  uint64_t in_flight() const { return injected_ - delivered_ - dropped_; }
+  uint64_t on_wire() const { return on_wire_; }
+  uint64_t untracked_events() const { return untracked_events_; }
+
+ private:
+  enum class Terminal : uint8_t { kInFlight = 0, kDelivered = 1, kDropped = 2 };
+
+  struct PacketState {
+    uint8_t injected_ttl = 0;
+    uint8_t last_ttl = 0;
+    uint16_t detours = 0;
+    Terminal terminal = Terminal::kInFlight;
+  };
+
+  // Returns the tracked state for `p`, or nullptr for untracked packets
+  // (which bump untracked_events_). Applies the TTL/detour monotonicity
+  // checks shared by every observation point.
+  PacketState* Observe(const Packet& p, const char* where);
+
+  [[noreturn]] void FailOn(const char* invariant, const Packet& p,
+                           const std::string& detail) const;
+
+  // Keyed lookup only — never iterated except sorted for diagnostics
+  // (determinism lint: unordered iteration ban).
+  std::unordered_map<uint64_t, PacketState> ledger_;
+  uint64_t injected_ = 0;
+  uint64_t delivered_ = 0;
+  uint64_t dropped_ = 0;
+  uint64_t ttl_dropped_ = 0;
+  uint64_t on_wire_ = 0;
+  uint64_t untracked_events_ = 0;
+  bool untracked_seen_ = false;
+};
+
+}  // namespace dibs
+
+#endif  // SRC_DEVICE_INVARIANT_CHECKER_H_

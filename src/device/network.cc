@@ -3,11 +3,13 @@
 #include <utility>
 
 #include "src/device/host_node.h"
+#include "src/device/invariant_checker.h"
 #include "src/device/switch_node.h"
 #include "src/net/droptail_queue.h"
 #include "src/net/pfabric_queue.h"
 #include "src/net/shared_buffer.h"
 #include "src/util/logging.h"
+#include "src/util/validation.h"
 
 namespace dibs {
 
@@ -33,6 +35,13 @@ Network::Network(Simulator* sim, Topology topology, NetworkConfig config)
       policy_(MakeDetourPolicy(config_.detour_policy)) {
   DIBS_CHECK(!(config_.pfabric_queues && config_.use_shared_buffer))
       << "pFabric and shared-buffer modes are mutually exclusive";
+
+  // DIBS_VALIDATE: every network carries its own conservation ledger so the
+  // invariants hold per-simulation even when sweeps run many in parallel.
+  if (validate::Enabled()) {
+    invariant_checker_ = std::make_unique<InvariantChecker>();
+    observers_.push_back(invariant_checker_.get());
+  }
 
   // Create nodes.
   nodes_.resize(static_cast<size_t>(topo_.num_nodes()));
@@ -67,9 +76,17 @@ Network::Network(Simulator* sim, Topology topology, NetworkConfig config)
         queue = std::make_unique<DropTailQueue>(config_.host_queue_packets, /*mark=*/0);
       } else {
         queue = MakeSwitchQueue(pools_[static_cast<size_t>(n)].get());
+        // pFabric destroys packets inside Enqueue (eviction); the ledger must
+        // hear about those terminal states or conservation would not balance.
+        if (invariant_checker_ != nullptr && config_.pfabric_queues) {
+          static_cast<PfabricQueue*>(queue.get())
+              ->SetEvictionHandler([checker = invariant_checker_.get()](
+                                       Packet&& dead) { checker->OnEvicted(dead); });
+        }
       }
       auto port = std::make_unique<Port>(sim_, nodes_[static_cast<size_t>(n)].get(), i,
                                          std::move(queue), link.rate_bps, link.delay);
+      port->AttachInvariantChecker(invariant_checker_.get());
       if (tn.kind == NodeKind::kHost) {
         static_cast<HostNode*>(nodes_[static_cast<size_t>(n)].get())->SetPort(std::move(port));
         DIBS_CHECK_EQ(port_refs.size(), 1u) << "hosts must have exactly one NIC";
@@ -129,6 +146,25 @@ HostNode& Network::host(HostId h) {
 SwitchNode& Network::switch_at(int node_id) {
   DIBS_DCHECK(IsSwitchNode(node_id));
   return *static_cast<SwitchNode*>(nodes_[static_cast<size_t>(node_id)].get());
+}
+
+void Network::NotifyHostSend(HostId host, const Packet& p) {
+  for (NetworkObserver* obs : observers_) {
+    obs->OnHostSend(host, p, sim_->Now());
+  }
+}
+
+uint64_t Network::TotalBufferedPackets() const {
+  uint64_t total = 0;
+  for (size_t n = 0; n < nodes_.size(); ++n) {
+    const TopoNode& tn = topo_.node(static_cast<int>(n));
+    if (tn.kind == NodeKind::kHost) {
+      total += static_cast<const HostNode*>(nodes_[n].get())->nic().queue().size_packets();
+    } else {
+      total += static_cast<const SwitchNode*>(nodes_[n].get())->buffered_packets();
+    }
+  }
+  return total;
 }
 
 void Network::NotifyDetour(int node, uint16_t port, const Packet& p) {

@@ -20,6 +20,7 @@
 namespace dibs {
 
 class HostNode;
+class InvariantChecker;
 class Queue;
 class SharedBufferPool;
 class SwitchNode;
@@ -94,9 +95,19 @@ class Network {
   void AddObserver(NetworkObserver* observer) { observers_.push_back(observer); }
 
   // Observer fan-out, called from the forwarding path.
+  void NotifyHostSend(HostId host, const Packet& p);
   void NotifyDetour(int node, uint16_t port, const Packet& p);
   void NotifyDrop(int node, const Packet& p, DropReason reason);
   void NotifyHostDeliver(HostId host, const Packet& p);
+
+  // DIBS_VALIDATE: the packet-conservation ledger, auto-installed when
+  // validation is enabled at construction time; nullptr otherwise.
+  InvariantChecker* invariant_checker() { return invariant_checker_.get(); }
+
+  // Network-wide queue occupancy: every packet buffered in any host NIC or
+  // switch output queue right now (the "buffered" term of the conservation
+  // balance; packets on the wire are counted by the checker itself).
+  uint64_t TotalBufferedPackets() const;
 
   // Aggregate counters (also broken out per reason via observers).
   uint64_t total_drops() const { return total_drops_; }
@@ -119,6 +130,7 @@ class Network {
   std::vector<std::unique_ptr<SharedBufferPool>> pools_;     // per switch when DBA on
   std::vector<int> switch_ids_;
   std::vector<NetworkObserver*> observers_;
+  std::unique_ptr<InvariantChecker> invariant_checker_;      // DIBS_VALIDATE only
 
   uint64_t next_uid_ = 1;
   uint64_t total_drops_ = 0;

@@ -23,6 +23,10 @@ class NetworkObserver {
  public:
   virtual ~NetworkObserver() = default;
 
+  // A host's NIC accepted `p` for transmission — the packet is now the
+  // network's responsibility (the injection edge of the conservation ledger).
+  virtual void OnHostSend(HostId host, const Packet& p, Time at) {}
+
   // A switch decided to detour `p` out of `detour_port` instead of dropping.
   virtual void OnDetour(int node, uint16_t detour_port, const Packet& p, Time at) {}
 

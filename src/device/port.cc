@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "src/device/invariant_checker.h"
 #include "src/util/logging.h"
 
 namespace dibs {
@@ -38,8 +39,16 @@ void Port::MaybeTransmit() {
   });
   Node* peer = peer_;
   const uint16_t peer_port = peer_port_;
+  // The packet is "on the wire" from the moment it left the queue until the
+  // peer takes it; the conservation ledger tracks that window.
+  if (checker_ != nullptr) {
+    checker_->OnWireEnter(*next);
+  }
   sim_->Schedule(serialization + prop_delay_,
-                 [peer, peer_port, pkt = std::move(*next)]() mutable {
+                 [peer, peer_port, checker = checker_, pkt = std::move(*next)]() mutable {
+                   if (checker != nullptr) {
+                     checker->OnWireExit(pkt);
+                   }
                    peer->HandleReceive(std::move(pkt), peer_port);
                  });
 }

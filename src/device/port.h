@@ -17,6 +17,8 @@
 
 namespace dibs {
 
+class InvariantChecker;
+
 class Port {
  public:
   Port(Simulator* sim, Node* owner, uint16_t index, std::unique_ptr<Queue> queue,
@@ -64,6 +66,10 @@ class Port {
   uint64_t bytes_sent() const { return bytes_sent_; }
   uint64_t packets_sent() const { return packets_sent_; }
 
+  // DIBS_VALIDATE: wires the conservation ledger's on-the-wire accounting
+  // into this port's transmitter. Null (the default) disables it.
+  void AttachInvariantChecker(InvariantChecker* checker) { checker_ = checker; }
+
  private:
   void MaybeTransmit();
 
@@ -82,6 +88,7 @@ class Port {
   bool paused_ = false;
   uint64_t bytes_sent_ = 0;
   uint64_t packets_sent_ = 0;
+  InvariantChecker* checker_ = nullptr;  // DIBS_VALIDATE wire accounting
 };
 
 }  // namespace dibs

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "src/device/invariant_checker.h"
 #include "src/util/logging.h"
 
 namespace dibs {
@@ -100,6 +101,17 @@ ScenarioResult Scenario::Run() {
   }
 
   sim_->RunUntil(config_.duration + config_.drain);
+
+  // DIBS_VALIDATE: the conservation ledger must balance at the cutoff —
+  // every injected packet is delivered, dropped, buffered in a queue, or on
+  // a wire — and, when the event queue fully drained, balance to zero
+  // (nothing buffered, nothing in flight). Throws ValidationError otherwise.
+  if (InvariantChecker* checker = network_->invariant_checker(); checker != nullptr) {
+    checker->CheckBalanced(network_->TotalBufferedPackets());
+    if (sim_->pending_events() == 0) {
+      checker->CheckQuiescent();
+    }
+  }
 
   ScenarioResult r;
   r.qct99_ms = recorder_.Qct99Ms();

@@ -13,10 +13,13 @@
 
 #include <deque>
 #include <optional>
+#include <sstream>
 
 #include "src/net/packet.h"
+#include "src/net/packet_debug.h"
 #include "src/net/queue.h"
 #include "src/net/shared_buffer.h"
+#include "src/util/validation.h"
 
 namespace dibs {
 
@@ -47,6 +50,9 @@ class DropTailQueue : public Queue {
     if (pool_ != nullptr) {
       pool_->OnEnqueue();
     }
+    if (validate::Enabled()) {
+      CheckConsistent(&packets_.back());
+    }
     return true;
   }
 
@@ -60,6 +66,9 @@ class DropTailQueue : public Queue {
     if (pool_ != nullptr) {
       pool_->OnDequeue();
     }
+    if (validate::Enabled()) {
+      CheckConsistent(&p);
+    }
     return p;
   }
 
@@ -69,7 +78,36 @@ class DropTailQueue : public Queue {
 
   size_t mark_threshold() const { return mark_threshold_; }
 
+  // Fault injection for the DIBS_VALIDATE test suite: skews the running byte
+  // counter so the next validated operation trips the queue.bytes invariant.
+  void TestOnlyCorruptBytes(int64_t delta) { bytes_ += delta; }
+
  private:
+  // DIBS_VALIDATE: the running byte counter must equal the sum of buffered
+  // packet sizes, and a statically-bounded queue must never exceed capacity.
+  // `touched` is the packet involved in the triggering operation, included in
+  // the diagnostic (with its path trace when present).
+  void CheckConsistent(const Packet* touched) const {
+    int64_t actual = 0;
+    for (const Packet& q : packets_) {
+      actual += q.size_bytes;
+    }
+    if (actual != bytes_) {
+      std::ostringstream os;
+      os << "drop-tail queue byte counter " << bytes_ << "B != buffered sum " << actual
+         << "B over " << packets_.size() << " packets; last touched "
+         << (touched != nullptr ? DescribePacket(*touched) : std::string("<none>"));
+      validate::Fail("queue.bytes", os.str());
+    }
+    if (pool_ == nullptr && capacity_ != 0 && packets_.size() > capacity_) {
+      std::ostringstream os;
+      os << "drop-tail queue holds " << packets_.size() << " packets > capacity "
+         << capacity_ << "; last touched "
+         << (touched != nullptr ? DescribePacket(*touched) : std::string("<none>"));
+      validate::Fail("queue.occupancy", os.str());
+    }
+  }
+
   size_t capacity_;
   size_t mark_threshold_;
   SharedBufferPool* pool_;

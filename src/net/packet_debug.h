@@ -1,0 +1,47 @@
+// Human-readable packet diagnostics for validation failures and logging.
+//
+// DescribePacket renders every header field the forwarding path reads plus,
+// when the packet carries a Figure-1 path trace, the full hop-by-hop history
+// (node, time, detoured?) — exactly what a DIBS_VALIDATE violation report
+// needs to reconstruct how a packet reached an inconsistent state.
+
+#ifndef SRC_NET_PACKET_DEBUG_H_
+#define SRC_NET_PACKET_DEBUG_H_
+
+#include <sstream>
+#include <string>
+
+#include "src/net/packet.h"
+
+namespace dibs {
+
+inline std::string DescribePacket(const Packet& p) {
+  std::ostringstream os;
+  os << "packet{uid=" << p.uid << " flow=" << p.flow << " " << p.src << "->" << p.dst
+     << " size=" << p.size_bytes << "B ttl=" << static_cast<int>(p.ttl)
+     << " detours=" << p.detour_count << (p.is_ack ? " ack=" : " seq=")
+     << (p.is_ack ? p.ack_seq : p.seq);
+  if (p.ect) {
+    os << (p.ce ? " ect+ce" : " ect");
+  }
+  if (p.fin) {
+    os << " fin";
+  }
+  if (p.trace != nullptr && !p.trace->empty()) {
+    os << " path=[";
+    for (size_t i = 0; i < p.trace->size(); ++i) {
+      const PathHop& hop = (*p.trace)[i];
+      if (i > 0) {
+        os << " ";
+      }
+      os << hop.node << "@" << hop.at << (hop.detoured ? "*" : "");
+    }
+    os << "] (* = detoured)";
+  }
+  os << "}";
+  return os.str();
+}
+
+}  // namespace dibs
+
+#endif  // SRC_NET_PACKET_DEBUG_H_

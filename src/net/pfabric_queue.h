@@ -11,19 +11,34 @@
 #ifndef SRC_NET_PFABRIC_QUEUE_H_
 #define SRC_NET_PFABRIC_QUEUE_H_
 
+#include <algorithm>
 #include <cstdint>
+#include <functional>
 #include <optional>
+#include <sstream>
+#include <utility>
 #include <vector>
 
 #include "src/net/packet.h"
+#include "src/net/packet_debug.h"
 #include "src/net/queue.h"
 #include "src/util/logging.h"
+#include "src/util/validation.h"
 
 namespace dibs {
 
 class PfabricQueue : public Queue {
  public:
+  // Invoked with each packet the queue destroys on overflow — either the
+  // arriving packet (it lost the priority comparison) or the lowest-priority
+  // buffered packet it evicted to make room. pFabric losses never reach the
+  // switch's drop path, so this is the only place a conservation ledger can
+  // learn about them.
+  using EvictionHandler = std::function<void(Packet&&)>;
+
   explicit PfabricQueue(size_t capacity_packets = 24) : capacity_(capacity_packets) {}
+
+  void SetEvictionHandler(EvictionHandler handler) { on_evict_ = std::move(handler); }
 
   // pFabric never refuses admission outright: a full queue still accepts a
   // packet that beats the worst buffered one. DIBS is not used with pFabric,
@@ -46,12 +61,19 @@ class PfabricQueue : public Queue {
     const size_t worst = LowestPriorityIndex();
     if (p.priority >= packets_[worst].pkt.priority) {
       ++evictions_;  // arriving packet is the loser
+      if (on_evict_) {
+        on_evict_(std::move(p));
+      }
       return false;
     }
     bytes_ -= packets_[worst].pkt.size_bytes;
+    Packet evicted = std::move(packets_[worst].pkt);
     packets_.erase(packets_.begin() + static_cast<ptrdiff_t>(worst));
     ++evictions_;
     Push(std::move(p));
+    if (on_evict_) {
+      on_evict_(std::move(evicted));
+    }
     return true;
   }
 
@@ -76,9 +98,15 @@ class PfabricQueue : public Queue {
         pick = i;
       }
     }
+    if (validate::Enabled()) {
+      CheckDequeueChoice(pick);
+    }
     Packet out = std::move(packets_[pick].pkt);
     packets_.erase(packets_.begin() + static_cast<ptrdiff_t>(pick));
     bytes_ -= out.size_bytes;
+    if (validate::Enabled()) {
+      CheckConsistent(&out);
+    }
     return out;
   }
 
@@ -87,6 +115,9 @@ class PfabricQueue : public Queue {
   size_t capacity_packets() const override { return capacity_; }
 
   uint64_t evictions() const { return evictions_; }
+
+  // Fault injection for the DIBS_VALIDATE test suite (see DropTailQueue).
+  void TestOnlyCorruptBytes(int64_t delta) { bytes_ += delta; }
 
  private:
   struct Entry {
@@ -110,6 +141,59 @@ class PfabricQueue : public Queue {
   void Push(Packet&& p) {
     bytes_ += p.size_bytes;
     packets_.push_back(Entry{std::move(p), next_arrival_++});
+    if (validate::Enabled()) {
+      CheckConsistent(&packets_.back().pkt);
+    }
+  }
+
+  // DIBS_VALIDATE: byte counter must match the buffered sum and the shallow
+  // pFabric buffer must never exceed its capacity (eviction keeps it exact).
+  void CheckConsistent(const Packet* touched) const {
+    int64_t actual = 0;
+    for (const Entry& e : packets_) {
+      actual += e.pkt.size_bytes;
+    }
+    if (actual != bytes_) {
+      std::ostringstream os;
+      os << "pFabric queue byte counter " << bytes_ << "B != buffered sum " << actual
+         << "B over " << packets_.size() << " packets; last touched "
+         << (touched != nullptr ? DescribePacket(*touched) : std::string("<none>"));
+      validate::Fail("queue.bytes", os.str());
+    }
+    if (capacity_ != 0 && packets_.size() > capacity_) {
+      std::ostringstream os;
+      os << "pFabric queue holds " << packets_.size() << " packets > capacity " << capacity_;
+      validate::Fail("queue.occupancy", os.str());
+    }
+  }
+
+  // DIBS_VALIDATE: the pFabric dequeue rule — transmit the earliest buffered
+  // segment of the flow holding the highest-priority (lowest value) packet.
+  // Re-derives both properties independently of the selection loop above.
+  void CheckDequeueChoice(size_t pick) const {
+    const Entry& chosen = packets_[pick];
+    int64_t global_best = chosen.pkt.priority;
+    int64_t flow_best = chosen.pkt.priority;
+    for (const Entry& e : packets_) {
+      global_best = std::min(global_best, e.pkt.priority);
+      if (e.pkt.flow == chosen.pkt.flow) {
+        flow_best = std::min(flow_best, e.pkt.priority);
+        if (e.arrival < chosen.arrival) {
+          std::ostringstream os;
+          os << "pFabric dequeued " << DescribePacket(chosen.pkt)
+             << " ahead of an earlier segment of the same flow ("
+             << DescribePacket(e.pkt) << "): in-flow FIFO order violated";
+          validate::Fail("pfabric.flow-order", os.str());
+        }
+      }
+    }
+    if (flow_best > global_best) {
+      std::ostringstream os;
+      os << "pFabric dequeued flow " << chosen.pkt.flow << " (best priority " << flow_best
+         << ") while a higher-priority packet (priority " << global_best
+         << ") of another flow is buffered; chosen " << DescribePacket(chosen.pkt);
+      validate::Fail("pfabric.priority-order", os.str());
+    }
   }
 
   size_t capacity_;
@@ -117,6 +201,7 @@ class PfabricQueue : public Queue {
   int64_t bytes_ = 0;
   uint64_t next_arrival_ = 0;
   uint64_t evictions_ = 0;
+  EvictionHandler on_evict_;
 };
 
 }  // namespace dibs

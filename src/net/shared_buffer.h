@@ -11,8 +11,10 @@
 #define SRC_NET_SHARED_BUFFER_H_
 
 #include <cstdint>
+#include <string>
 
 #include "src/util/logging.h"
+#include "src/util/validation.h"
 
 namespace dibs {
 
@@ -42,11 +44,19 @@ class SharedBufferPool {
   }
 
   void OnEnqueue() {
+    if (validate::Enabled() && used_ >= capacity_) {
+      validate::Fail("pool.overflow", "shared pool admitted packet " +
+                                          std::to_string(used_ + 1) + " of capacity " +
+                                          std::to_string(capacity_));
+    }
     DIBS_DCHECK(used_ < capacity_);
     ++used_;
   }
 
   void OnDequeue() {
+    if (validate::Enabled() && used_ == 0) {
+      validate::Fail("pool.underflow", "shared pool released a packet while empty");
+    }
     DIBS_DCHECK(used_ > 0);
     --used_;
   }

@@ -1,8 +1,10 @@
 #include "src/sim/simulator.h"
 
+#include <sstream>
 #include <utility>
 
 #include "src/util/logging.h"
+#include "src/util/validation.h"
 
 namespace dibs {
 
@@ -15,6 +17,12 @@ EventId Simulator::Schedule(Time delay, std::function<void()> fn) {
 }
 
 EventId Simulator::ScheduleAt(Time when, std::function<void()> fn) {
+  if (validate::Enabled() && when < now_) {
+    std::ostringstream os;
+    os << "event scheduled into the past: " << when << " < now " << now_
+       << " (events processed: " << events_processed_ << ")";
+    validate::Fail("sim.schedule-past", os.str());
+  }
   DIBS_CHECK(when >= now_) << "scheduling into the past: " << when << " < " << now_;
   const EventId id = next_id_++;
   queue_.push(Event{when, id, std::move(fn)});
@@ -37,6 +45,12 @@ bool Simulator::RunOneEvent() {
     if (auto it = cancelled_.find(ev.id); it != cancelled_.end()) {
       cancelled_.erase(it);
       continue;
+    }
+    if (validate::Enabled() && ev.when < now_) {
+      std::ostringstream os;
+      os << "event timestamp regressed: popped event " << ev.id << " at " << ev.when
+         << " behind clock " << now_ << " (events processed: " << events_processed_ << ")";
+      validate::Fail("sim.time-regression", os.str());
     }
     DIBS_DCHECK(ev.when >= now_);
     now_ = ev.when;

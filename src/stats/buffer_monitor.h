@@ -11,7 +11,7 @@
 #define SRC_STATS_BUFFER_MONITOR_H_
 
 #include <cstdint>
-#include <unordered_map>
+#include <map>
 #include <vector>
 
 #include "src/device/network.h"
@@ -53,9 +53,11 @@ class BufferMonitor {
 
   Network* network_;
   Options options_;
-  // Precomputed switch neighborhoods.
-  std::unordered_map<int, std::vector<int>> one_hop_;
-  std::unordered_map<int, std::vector<int>> two_hop_;
+  // Precomputed switch neighborhoods. Ordered map: emission paths walk these
+  // keyed off switch_ids(), and an ordered container keeps any future
+  // iteration deterministic (determinism lint: unordered-iter ban).
+  std::map<int, std::vector<int>> one_hop_;
+  std::map<int, std::vector<int>> two_hop_;
 
   std::vector<double> one_hop_free_;
   std::vector<double> two_hop_free_;

@@ -8,8 +8,8 @@
 #ifndef SRC_TRANSPORT_FLOW_MANAGER_H_
 #define SRC_TRANSPORT_FLOW_MANAGER_H_
 
+#include <map>
 #include <memory>
-#include <unordered_map>
 
 #include "src/transport/flow.h"
 #include "src/transport/pfabric_sender.h"
@@ -64,7 +64,9 @@ class FlowManager {
   FlowId next_flow_id_ = 1;
   uint64_t flows_started_ = 0;
   uint64_t flows_completed_ = 0;
-  std::unordered_map<FlowId, ActiveFlow> flows_;
+  // Ordered so teardown and any diagnostic iteration follow FlowId order
+  // (determinism lint: unordered-iter ban).
+  std::map<FlowId, ActiveFlow> flows_;
 };
 
 }  // namespace dibs

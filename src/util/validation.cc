@@ -1,0 +1,33 @@
+#include "src/util/validation.h"
+
+#include <cstdlib>
+#include <utility>
+
+namespace dibs {
+
+ValidationError::ValidationError(std::string invariant, std::string detail)
+    : std::runtime_error("DIBS_VALIDATE[" + invariant + "]: " + detail),
+      invariant_(std::move(invariant)),
+      detail_(std::move(detail)) {}
+
+namespace validate {
+namespace internal {
+
+std::atomic<bool>& Flag() {
+  static std::atomic<bool> enabled = [] {
+    const char* env = std::getenv("DIBS_VALIDATE");
+    return env != nullptr && env[0] != '\0' && env[0] != '0';
+  }();
+  return enabled;
+}
+
+}  // namespace internal
+
+void SetEnabled(bool on) { internal::Flag().store(on, std::memory_order_relaxed); }
+
+void Fail(const std::string& invariant, const std::string& detail) {
+  throw ValidationError(invariant, detail);
+}
+
+}  // namespace validate
+}  // namespace dibs

@@ -1,0 +1,140 @@
+#!/usr/bin/env python3
+"""Determinism lint for the DIBS simulator.
+
+The simulator's contract is bit-identical results for a given seed. This
+lint statically bans the constructs that silently break that contract:
+
+  rand           libc rand()/srand() — unseeded global state. Use
+                 src/util/rng.h (dibs::Rng), which is seeded per run.
+  random-device  std::random_device — hardware entropy, different every run.
+  wall-clock     std::chrono::{system,steady,high_resolution}_clock — wall
+                 time must never feed simulation state. (Whitelisted in
+                 src/exp/, where the parallel sweep engine times *itself*,
+                 off the simulation path.)
+  unordered-iter Range-for or .begin() iteration over a variable declared
+                 as std::unordered_map/std::unordered_set — iteration order
+                 is implementation-defined, so any fold over it (stats
+                 emission, teardown side effects) is nondeterministic.
+                 Keyed lookup is fine; iteration needs an ordered container
+                 or an explicit sort.
+
+Escape hatch: append `// lint:allow(<rule>)` to a flagged line, e.g. when
+iterating an unordered map purely to build a sorted diagnostic.
+
+Usage: tools/determinism_lint.py [repo-root]   (exit 1 on findings)
+"""
+
+import os
+import re
+import sys
+
+SCAN_DIRS = ("src", "tests", "bench", "examples")
+EXTENSIONS = (".h", ".cc", ".cpp")
+
+# Per-rule path-prefix whitelists (relative, '/'-separated).
+WHITELIST = {
+    "rand": (),
+    "random-device": ("src/util/rng.h",),
+    "wall-clock": ("src/exp/",),
+    "unordered-iter": ("src/util/rng.h",),
+}
+
+RAND_RE = re.compile(r"(?<![\w:.>])s?rand\s*\(")
+RANDOM_DEVICE_RE = re.compile(r"\brandom_device\b")
+WALL_CLOCK_RE = re.compile(r"\b(?:system_clock|steady_clock|high_resolution_clock)\b")
+# Variable (or member) declared as an unordered container, e.g.
+#   std::unordered_map<FlowId, ActiveFlow> flows_;
+UNORDERED_DECL_RE = re.compile(
+    r"\bunordered_(?:map|set|multimap|multiset)\s*<.*>\s*(\w+)\s*[;{=]")
+ALLOW_RE = re.compile(r"//\s*lint:allow\((\w[\w-]*)\)")
+LINE_COMMENT_RE = re.compile(r"//(?!\s*lint:allow).*")
+
+
+def iter_source_files(root):
+    for scan_dir in SCAN_DIRS:
+        top = os.path.join(root, scan_dir)
+        for dirpath, dirnames, filenames in os.walk(top):
+            dirnames[:] = [d for d in dirnames if d != "build"]
+            for name in sorted(filenames):
+                if name.endswith(EXTENSIONS):
+                    yield os.path.join(dirpath, name)
+
+
+def is_whitelisted(rule, relpath):
+    return any(relpath.startswith(prefix) for prefix in WHITELIST[rule])
+
+
+def collect_unordered_names(files):
+    """All identifiers declared anywhere as unordered containers."""
+    names = set()
+    for path in files:
+        with open(path, encoding="utf-8") as f:
+            for line in f:
+                m = UNORDERED_DECL_RE.search(line)
+                if m:
+                    names.add(m.group(1))
+    return names
+
+
+def iteration_patterns(unordered_names):
+    if not unordered_names:
+        return []
+    alternation = "|".join(re.escape(n) for n in sorted(unordered_names))
+    return [
+        # for (const auto& kv : flows_) { ... }
+        re.compile(r"for\s*\([^;)]*:\s*(?:\w+(?:\.|->))?(%s)\s*\)" % alternation),
+        # flows_.begin() / flows_.cbegin() — hand-rolled iteration.
+        re.compile(r"\b(%s)\s*\.\s*c?begin\s*\(" % alternation),
+    ]
+
+
+def lint_file(path, relpath, iter_patterns, findings):
+    with open(path, encoding="utf-8") as f:
+        for lineno, raw in enumerate(f, start=1):
+            allow = ALLOW_RE.search(raw)
+            allowed_rule = allow.group(1) if allow else None
+            line = LINE_COMMENT_RE.sub("", raw)
+
+            def check(rule, matched, message):
+                if not matched or is_whitelisted(rule, relpath):
+                    return
+                if allowed_rule == rule:
+                    return
+                findings.append((relpath, lineno, rule, message))
+
+            check("rand", RAND_RE.search(line),
+                  "libc rand()/srand() is unseeded global state; use dibs::Rng")
+            check("random-device", RANDOM_DEVICE_RE.search(line),
+                  "std::random_device draws hardware entropy; seed dibs::Rng instead")
+            check("wall-clock", WALL_CLOCK_RE.search(line),
+                  "wall-clock time must not feed simulation state; use Simulator::Now()")
+            for pattern in iter_patterns:
+                check("unordered-iter", pattern.search(line),
+                      "iterating an unordered container is order-nondeterministic; "
+                      "use std::map/std::set or sort the keys first")
+
+
+def main():
+    root = sys.argv[1] if len(sys.argv) > 1 else os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))
+    files = list(iter_source_files(root))
+    if not files:
+        print("determinism-lint: no source files found under %s" % root)
+        return 2
+    iter_patterns = iteration_patterns(collect_unordered_names(files))
+    findings = []
+    for path in files:
+        relpath = os.path.relpath(path, root).replace(os.sep, "/")
+        lint_file(path, relpath, iter_patterns, findings)
+    for relpath, lineno, rule, message in findings:
+        print("%s:%d: [%s] %s" % (relpath, lineno, rule, message))
+    if findings:
+        print("determinism-lint: %d finding(s) in %d file(s) scanned" %
+              (len(findings), len(files)))
+        return 1
+    print("determinism-lint: OK (%d files scanned)" % len(files))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
