@@ -18,7 +18,14 @@
 #                           DIBS_VALIDATE=1 and DIBS_REQUIRE_OK=1 (any run
 #                           a validation throw fails is fatal), on the
 #                           tier-1 build tree.
-#   7. tsan               — sweep engine under ThreadSanitizer (tests/exp)
+#   7. resilience smoke   — the fault-injection bench under ASan+UBSan with
+#                           DIBS_VALIDATE=1 (the conservation ledger must
+#                           balance through link flaps, lossy links, and a
+#                           ToR crash), run twice — DIBS_JOBS=1 then
+#                           DIBS_JOBS=8 — and diffed: tables byte-identical,
+#                           JSONL identical modulo host-side wall-clock
+#                           metadata (wall_ms / events_per_sec).
+#   8. tsan               — sweep engine under ThreadSanitizer (tests/exp)
 #                           so data races in the threaded layer fail the
 #                           pipeline.
 #
@@ -58,6 +65,27 @@ ASAN_OPTIONS="halt_on_error=1:detect_leaks=1" UBSAN_OPTIONS="halt_on_error=1" \
 
 echo "== smoke: fig11 incast-degree bench with DIBS_VALIDATE=1 =="
 DIBS_VALIDATE=1 DIBS_REQUIRE_OK=1 DIBS_BENCH_DURATION_MS=50 ./build/bench/fig11_incast_degree
+
+echo "== smoke: resilience fault-injection bench, seed-determinism across DIBS_JOBS =="
+# ASan+UBSan build (stage 5 already built it) with the invariant checker on:
+# every fault cell must keep the conservation ledger balanced, and the whole
+# sweep must be reproducible regardless of worker count.
+cmake --build build-asan -j"$JOBS" --target resilience
+RES_TMP="$(mktemp -d)"
+trap 'rm -rf "$RES_TMP"' EXIT
+for jobs in 1 8; do
+  ASAN_OPTIONS="halt_on_error=1:detect_leaks=1" UBSAN_OPTIONS="halt_on_error=1" \
+    DIBS_VALIDATE=1 DIBS_REQUIRE_OK=1 DIBS_BENCH_DURATION_MS=50 DIBS_JOBS="$jobs" \
+    DIBS_SWEEP_JSONL="$RES_TMP/res_j$jobs.jsonl" \
+    ./build-asan/bench/resilience > "$RES_TMP/res_j$jobs.txt"
+  # Host-side wall-clock metadata legitimately differs between runs; the
+  # simulation payload may not.
+  sed -E 's/"wall_ms":[0-9.eE+-]+,"events_per_sec":[0-9.eE+-]+/"wall_ms":0,"events_per_sec":0/' \
+    "$RES_TMP/res_j$jobs.jsonl" > "$RES_TMP/res_j$jobs.norm"
+done
+diff -u "$RES_TMP/res_j1.txt" "$RES_TMP/res_j8.txt"
+diff -u "$RES_TMP/res_j1.norm" "$RES_TMP/res_j8.norm"
+echo "resilience: byte-identical across DIBS_JOBS=1/8"
 
 echo "== tsan: sweep engine under ThreadSanitizer =="
 cmake -B build-tsan -S . -DDIBS_SANITIZE=thread >/dev/null

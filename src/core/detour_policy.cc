@@ -20,6 +20,12 @@ std::vector<const DetourPortInfo*> DetourPolicy::EligiblePorts(const DetourConte
     if (info.full) {
       continue;  // never detour into another full buffer (§2)
     }
+    if (!info.link_up) {
+      continue;  // down link / crashed peer: detouring there is a blackhole
+    }
+    if (info.paused) {
+      continue;  // paused transmitter cannot drain what we'd park there
+    }
     eligible.push_back(&info);
   }
   return eligible;

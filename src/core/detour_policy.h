@@ -3,9 +3,13 @@
 // A DetourPolicy answers the four questions of §2: when to start detouring,
 // which packets, where to, and when to stop. The switch invokes the policy
 // when (and, for ProbabilisticDetour, slightly before) the desired output
-// queue is full. Hard rules enforced by eligibility filtering, per §2:
+// queue is full. Hard rules enforced by eligibility filtering, per §2 (and
+// the failure model the paper leaves implicit — borrowing a neighbor's
+// buffer assumes the neighbor is alive and draining):
 //   * never detour to a host-facing port (hosts do not forward),
 //   * never detour to a port whose own queue is full,
+//   * never detour to a port whose link is down or whose peer has crashed,
+//   * never detour to an Ethernet-paused port (its queue cannot drain),
 //   * the input port IS eligible (packets may bounce straight back, Fig 1).
 // The paper's default policy is RandomDetour — parameterless by design.
 
@@ -31,7 +35,9 @@ struct DetourPortInfo {
   bool to_switch = false;  // peer is a switch (eligible) vs a host (never eligible)
   bool full = false;       // that port's queue would refuse this packet
   size_t queue_len = 0;
-  size_t queue_cap = 0;  // 0 = unbounded
+  size_t queue_cap = 0;   // 0 = unbounded
+  bool link_up = true;    // false: link down or peer crashed — never eligible
+  bool paused = false;    // Ethernet-paused transmitter cannot drain — never eligible
 };
 
 struct DetourContext {

@@ -91,6 +91,9 @@ void InvariantChecker::OnDrop(int node, const Packet& p, DropReason reason, Time
   if (reason == DropReason::kTtlExpired) {
     ++ttl_dropped_;
   }
+  if (IsFaultDrop(reason)) {
+    ++fault_dropped_;
+  }
 }
 
 void InvariantChecker::OnHostDeliver(HostId host, const Packet& p, Time at) {
@@ -111,7 +114,15 @@ void InvariantChecker::OnEvicted(const Packet& p) {
   ++dropped_;
 }
 
-void InvariantChecker::OnWireEnter(const Packet& p) { ++on_wire_; }
+void InvariantChecker::OnWireEnter(const Packet& p, bool link_up) {
+  if (!link_up) {
+    validate::Fail("ledger.dead-port-delivery",
+                   "a port transmitted a packet while its link was down — down ports "
+                   "must drain or blackhole, never deliver; " +
+                       DescribePacket(p));
+  }
+  ++on_wire_;
+}
 
 void InvariantChecker::OnWireExit(const Packet& p) {
   if (on_wire_ == 0) {

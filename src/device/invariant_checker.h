@@ -48,8 +48,11 @@ class InvariantChecker : public NetworkObserver {
 
   // Wire accounting: a port calls these when a packet leaves its transmitter
   // and when it lands at the peer, so CheckBalanced can account for packets
-  // that are neither queued nor terminal.
-  void OnWireEnter(const Packet& p);
+  // that are neither queued nor terminal. `link_up` is the transmitting
+  // port's link state at transmission time: a port whose link is down must
+  // never put a packet on the wire (the fault model drains and blackholes
+  // such ports), so transmitting while down trips ledger.dead-port-delivery.
+  void OnWireEnter(const Packet& p, bool link_up = true);
   void OnWireExit(const Packet& p);
 
   // Throws unless injected == delivered + dropped exactly (no packet still in
@@ -69,6 +72,7 @@ class InvariantChecker : public NetworkObserver {
   uint64_t delivered() const { return delivered_; }
   uint64_t dropped() const { return dropped_; }
   uint64_t ttl_dropped() const { return ttl_dropped_; }
+  uint64_t fault_dropped() const { return fault_dropped_; }
   uint64_t in_flight() const { return injected_ - delivered_ - dropped_; }
   uint64_t on_wire() const { return on_wire_; }
   uint64_t untracked_events() const { return untracked_events_; }
@@ -98,6 +102,7 @@ class InvariantChecker : public NetworkObserver {
   uint64_t delivered_ = 0;
   uint64_t dropped_ = 0;
   uint64_t ttl_dropped_ = 0;
+  uint64_t fault_dropped_ = 0;
   uint64_t on_wire_ = 0;
   uint64_t untracked_events_ = 0;
   bool untracked_seen_ = false;

@@ -13,25 +13,13 @@
 
 namespace dibs {
 
-const char* DropReasonName(DropReason reason) {
-  switch (reason) {
-    case DropReason::kQueueOverflow:
-      return "queue-overflow";
-    case DropReason::kNoDetourAvailable:
-      return "no-detour-available";
-    case DropReason::kTtlExpired:
-      return "ttl-expired";
-    case DropReason::kNoRoute:
-      return "no-route";
-  }
-  return "?";
-}
-
 Network::Network(Simulator* sim, Topology topology, NetworkConfig config)
     : sim_(sim),
       topo_(std::move(topology)),
       config_(std::move(config)),
       fib_(Fib::Compute(topo_)),
+      link_admin_up_(static_cast<size_t>(topo_.num_links()), true),
+      node_up_(static_cast<size_t>(topo_.num_nodes()), true),
       policy_(MakeDetourPolicy(config_.detour_policy)) {
   DIBS_CHECK(!(config_.pfabric_queues && config_.use_shared_buffer))
       << "pFabric and shared-buffer modes are mutually exclusive";
@@ -87,6 +75,11 @@ Network::Network(Simulator* sim, Topology topology, NetworkConfig config)
       auto port = std::make_unique<Port>(sim_, nodes_[static_cast<size_t>(n)].get(), i,
                                          std::move(queue), link.rate_bps, link.delay);
       port->AttachInvariantChecker(invariant_checker_.get());
+      // Fault-killed packets (drained queues, blackholed enqueues, lossy
+      // links) reach their terminal state through the normal drop fan-out,
+      // attributed to the node that owns the port.
+      port->SetFaultDropHandler(
+          [this, n](Packet&& dead, DropReason reason) { NotifyDrop(n, dead, reason); });
       if (tn.kind == NodeKind::kHost) {
         static_cast<HostNode*>(nodes_[static_cast<size_t>(n)].get())->SetPort(std::move(port));
         DIBS_CHECK_EQ(port_refs.size(), 1u) << "hosts must have exactly one NIC";
@@ -179,6 +172,84 @@ void Network::NotifyDrop(int node, const Packet& p, DropReason reason) {
   for (NetworkObserver* obs : observers_) {
     obs->OnDrop(node, p, reason, sim_->Now());
   }
+}
+
+Port& Network::PortAt(int node_id, uint16_t port_index) {
+  Node* node = nodes_[static_cast<size_t>(node_id)].get();
+  if (topo_.node(node_id).kind == NodeKind::kHost) {
+    DIBS_DCHECK(port_index == 0);
+    return static_cast<HostNode*>(node)->nic();
+  }
+  return static_cast<SwitchNode*>(node)->port(port_index);
+}
+
+uint16_t Network::PortIndexOf(int node_id, int link) const {
+  const auto& refs = topo_.ports(node_id);
+  for (uint16_t i = 0; i < refs.size(); ++i) {
+    if (refs[i].link == link) {
+      return i;
+    }
+  }
+  DIBS_LOG(kFatal) << "link " << link << " is not incident to node " << node_id;
+  return UINT16_MAX;
+}
+
+void Network::ApplyLinkEffective(int link) {
+  const TopoLink& l = topo_.link(link);
+  const bool up = link_admin_up_[static_cast<size_t>(link)] &&
+                  node_up_[static_cast<size_t>(l.node_a)] &&
+                  node_up_[static_cast<size_t>(l.node_b)];
+  const uint16_t port_a = PortIndexOf(l.node_a, link);
+  const uint16_t port_b = PortIndexOf(l.node_b, link);
+  PortAt(l.node_a, port_a).SetLinkUp(up);
+  PortAt(l.node_b, port_b).SetLinkUp(up);
+  // Mask (or restore) the link in the live FIB so routing and ECMP only ever
+  // pick among live next hops.
+  fib_.SetPortState(l.node_a, port_a, up);
+  fib_.SetPortState(l.node_b, port_b, up);
+}
+
+void Network::SetLinkAdminState(int link, bool up) {
+  DIBS_CHECK(link >= 0 && link < topo_.num_links()) << "bad link id " << link;
+  if (link_admin_up_[static_cast<size_t>(link)] == up) {
+    return;
+  }
+  link_admin_up_[static_cast<size_t>(link)] = up;
+  ApplyLinkEffective(link);
+}
+
+void Network::SetSwitchOperational(int node_id, bool up) {
+  DIBS_CHECK(IsSwitchNode(node_id)) << "node " << node_id << " is not a switch";
+  if (node_up_[static_cast<size_t>(node_id)] == up) {
+    return;
+  }
+  node_up_[static_cast<size_t>(node_id)] = up;
+  switch_at(node_id).SetCrashed(!up);
+  // Every adjacent link's effective state may have changed. Crashing drains
+  // the switch's own queues (its ports go down); restarting only revives
+  // links whose admin state and peer liveness also allow it.
+  for (const PortRef& ref : topo_.ports(node_id)) {
+    ApplyLinkEffective(ref.link);
+  }
+}
+
+void Network::SetLinkDegraded(int link, double loss_probability, Time extra_jitter) {
+  DIBS_CHECK(link >= 0 && link < topo_.num_links()) << "bad link id " << link;
+  DIBS_CHECK(loss_probability >= 0.0 && loss_probability < 1.0)
+      << "loss probability must be in [0, 1)";
+  const TopoLink& l = topo_.link(link);
+  PortAt(l.node_a, PortIndexOf(l.node_a, link)).SetDegraded(loss_probability, extra_jitter);
+  PortAt(l.node_b, PortIndexOf(l.node_b, link)).SetDegraded(loss_probability, extra_jitter);
+}
+
+bool Network::LinkUp(int link) const {
+  const TopoLink& l = topo_.link(link);
+  return link_admin_up_[static_cast<size_t>(link)] &&
+         node_up_[static_cast<size_t>(l.node_a)] && node_up_[static_cast<size_t>(l.node_b)];
+}
+
+bool Network::SwitchOperational(int node_id) const {
+  return node_up_[static_cast<size_t>(node_id)];
 }
 
 void Network::NotifyHostDeliver(HostId host, const Packet& p) {

@@ -21,6 +21,7 @@ namespace dibs {
 
 class HostNode;
 class InvariantChecker;
+class Port;
 class Queue;
 class SharedBufferPool;
 class SwitchNode;
@@ -100,6 +101,31 @@ class Network {
   void NotifyDrop(int node, const Packet& p, DropReason reason);
   void NotifyHostDeliver(HostId host, const Packet& p);
 
+  // ---- Fault model (driven by fault::FaultInjector or tests) ----
+  //
+  // A link is EFFECTIVELY up iff it is administratively up AND both endpoint
+  // switches are operational. Taking a link down (directly or via a crash)
+  // drains both directions' queues as DropReason::kFaultLinkDown, blackholes
+  // future enqueues, and masks the link's ports out of the live FIB so ECMP
+  // re-picks among survivors; bringing it back restores the FIB entries and
+  // kicks the transmitters. All transitions are idempotent.
+
+  // Administrative link state (link index from the Topology).
+  void SetLinkAdminState(int link, bool up);
+
+  // Crash / restart a switch: a crashed switch drops everything it receives
+  // and every adjacent link goes effectively down. Restart restores adjacent
+  // links whose other conditions (admin state, peer liveness) allow it.
+  void SetSwitchOperational(int node_id, bool up);
+
+  // Degraded link: both directions lose each packet with `loss_probability`
+  // (DropReason::kFaultLossy) and add up to `extra_jitter` of RNG-drawn
+  // propagation delay. (0, 0) restores the link to healthy.
+  void SetLinkDegraded(int link, double loss_probability, Time extra_jitter);
+
+  bool LinkUp(int link) const;  // effective state
+  bool SwitchOperational(int node_id) const;
+
   // DIBS_VALIDATE: the packet-conservation ledger, auto-installed when
   // validation is enabled at construction time; nullptr otherwise.
   InvariantChecker* invariant_checker() { return invariant_checker_.get(); }
@@ -120,10 +146,22 @@ class Network {
  private:
   std::unique_ptr<Queue> MakeSwitchQueue(SharedBufferPool* pool) const;
 
+  // The device-layer Port for `node`'s `port_index` (host NIC or switch port).
+  Port& PortAt(int node_id, uint16_t port_index);
+
+  // Port index of `link` as seen from `node` (inverse of Topology::ports).
+  uint16_t PortIndexOf(int node_id, int link) const;
+
+  // Recomputes a link's effective state from admin + endpoint liveness and
+  // pushes it into both Ports and the live FIB.
+  void ApplyLinkEffective(int link);
+
   Simulator* sim_;
   Topology topo_;
   NetworkConfig config_;
   Fib fib_;
+  std::vector<bool> link_admin_up_;  // indexed by link id
+  std::vector<bool> node_up_;        // indexed by node id; false = crashed switch
   std::unique_ptr<DetourPolicy> policy_;
 
   std::vector<std::unique_ptr<Node>> nodes_;                 // indexed by topo node id

@@ -5,19 +5,11 @@
 #ifndef SRC_DEVICE_OBSERVER_H_
 #define SRC_DEVICE_OBSERVER_H_
 
+#include "src/net/drop_reason.h"
 #include "src/net/packet.h"
 #include "src/sim/time.h"
 
 namespace dibs {
-
-enum class DropReason : uint8_t {
-  kQueueOverflow = 0,    // desired queue full, no DIBS (or policy declined)
-  kNoDetourAvailable = 1,  // DIBS active but every eligible port was full
-  kTtlExpired = 2,
-  kNoRoute = 3,
-};
-
-const char* DropReasonName(DropReason reason);
 
 class NetworkObserver {
  public:

@@ -8,6 +8,15 @@
 namespace dibs {
 
 bool Port::EnqueueAndTransmit(Packet&& p) {
+  if (!link_up_) {
+    // Blackhole: the port owns the packet's terminal state. Returning true
+    // tells the caller the port took responsibility — the drop has already
+    // been accounted through the fault handler.
+    if (fault_drop_) {
+      fault_drop_(std::move(p), DropReason::kFaultLinkDown);
+    }
+    return true;
+  }
   if (!queue_->Enqueue(std::move(p))) {
     return false;
   }
@@ -15,7 +24,35 @@ bool Port::EnqueueAndTransmit(Packet&& p) {
   return true;
 }
 
+void Port::SetLinkUp(bool up) {
+  if (link_up_ == up) {
+    return;
+  }
+  link_up_ = up;
+  if (up) {
+    MaybeTransmit();
+    return;
+  }
+  // Link died: everything buffered behind it is lost. Each drained packet
+  // reaches its terminal state through the fault handler, and the owner hears
+  // the dequeue so flow-control watermarks re-evaluate.
+  while (true) {
+    std::optional<Packet> dead = queue_->Dequeue();
+    if (!dead.has_value()) {
+      break;
+    }
+    owner_->OnPortDequeue(index_);
+    if (fault_drop_) {
+      fault_drop_(std::move(*dead), DropReason::kFaultLinkDown);
+    }
+  }
+}
+
 void Port::MaybeTransmit() {
+  // Note: deliberately no link_up_ guard here. SetLinkUp(false) drains the
+  // queue and EnqueueAndTransmit blackholes while down, so a correct device
+  // never has anything to transmit on a dead link; if a bug does push one
+  // through, the conservation ledger's dead-port-delivery invariant trips.
   if (transmitting_ || paused_) {
     return;
   }
@@ -37,14 +74,30 @@ void Port::MaybeTransmit() {
     transmitting_ = false;
     MaybeTransmit();
   });
+
+  // Degraded link: the frame may be corrupted in flight. The wire slot is
+  // still consumed (the serialization event above stands), but the packet
+  // never lands — it dies here as a fault-lossy terminal drop.
+  if (loss_probability_ > 0 && sim_->rng().Bernoulli(loss_probability_)) {
+    if (fault_drop_) {
+      fault_drop_(std::move(*next), DropReason::kFaultLossy);
+    }
+    return;
+  }
+  Time prop = prop_delay_;
+  if (extra_jitter_ > Time::Zero()) {
+    prop = prop + Time::Nanos(sim_->rng().UniformInt(0, extra_jitter_.nanos()));
+  }
+
   Node* peer = peer_;
   const uint16_t peer_port = peer_port_;
   // The packet is "on the wire" from the moment it left the queue until the
-  // peer takes it; the conservation ledger tracks that window.
+  // peer takes it; the conservation ledger tracks that window (and flags a
+  // transmission through a down link as a dead-port delivery).
   if (checker_ != nullptr) {
-    checker_->OnWireEnter(*next);
+    checker_->OnWireEnter(*next, link_up_);
   }
-  sim_->Schedule(serialization + prop_delay_,
+  sim_->Schedule(serialization + prop,
                  [peer, peer_port, checker = checker_, pkt = std::move(*next)]() mutable {
                    if (checker != nullptr) {
                      checker->OnWireExit(pkt);

@@ -9,9 +9,11 @@
 #define SRC_DEVICE_PORT_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 
 #include "src/device/node.h"
+#include "src/net/drop_reason.h"
 #include "src/net/queue.h"
 #include "src/sim/simulator.h"
 
@@ -62,6 +64,34 @@ class Port {
   }
   bool paused() const { return paused_; }
 
+  // Fault model (src/fault). Taking the link down drains the queue — every
+  // buffered packet dies with DropReason::kFaultLinkDown through the fault
+  // drop handler, a terminal state the conservation ledger accepts — and
+  // blackholes future EnqueueAndTransmit calls the same way. As with pause,
+  // a packet already on the wire is not recalled: it lands at the peer
+  // (which drops it if that peer is a crashed switch). Bringing the link
+  // back up kicks the transmitter. Idempotent.
+  void SetLinkUp(bool up);
+  bool link_up() const { return link_up_; }
+
+  // Degraded-link mode: each transmitted packet is lost with
+  // `loss_probability` (counted as DropReason::kFaultLossy; the wire slot is
+  // still consumed, like a corrupted frame), and survivors see up to
+  // `extra_jitter` of additional, RNG-drawn propagation delay. Pass (0, 0)
+  // to restore the link. Draws come from the simulator RNG, so the fault
+  // schedule stays seed-deterministic.
+  void SetDegraded(double loss_probability, Time extra_jitter) {
+    loss_probability_ = loss_probability;
+    extra_jitter_ = extra_jitter;
+  }
+  bool degraded() const { return loss_probability_ > 0 || extra_jitter_ > Time::Zero(); }
+
+  // Wires the terminal-drop path for fault-killed packets (drained queues,
+  // blackholed enqueues, lossy-link losses). Installed by the Network so the
+  // drop reaches observers/recorders as a normal NotifyDrop.
+  using FaultDropHandler = std::function<void(Packet&&, DropReason)>;
+  void SetFaultDropHandler(FaultDropHandler handler) { fault_drop_ = std::move(handler); }
+
   // Cumulative transmit counters, sampled by LinkMonitor.
   uint64_t bytes_sent() const { return bytes_sent_; }
   uint64_t packets_sent() const { return packets_sent_; }
@@ -86,6 +116,10 @@ class Port {
 
   bool transmitting_ = false;
   bool paused_ = false;
+  bool link_up_ = true;
+  double loss_probability_ = 0;
+  Time extra_jitter_;
+  FaultDropHandler fault_drop_;
   uint64_t bytes_sent_ = 0;
   uint64_t packets_sent_ = 0;
   InvariantChecker* checker_ = nullptr;  // DIBS_VALIDATE wire accounting

@@ -11,6 +11,14 @@ namespace dibs {
 void SwitchNode::HandleReceive(Packet&& p, uint16_t in_port) {
   Network& net = *network_;
 
+  // A crashed switch eats everything — packets that were already on the wire
+  // toward it when it died land here and die with it.
+  if (crashed_) {
+    ++drops_;
+    net.NotifyDrop(id(), p, DropReason::kFaultSwitchDown);
+    return;
+  }
+
   // TTL: one decrement per switch hop; bounds the total detour budget
   // (§5.5.3). A packet arriving with ttl 1 cannot be forwarded again.
   if (p.ttl <= 1) {
@@ -22,8 +30,12 @@ void SwitchNode::HandleReceive(Packet&& p, uint16_t in_port) {
 
   const auto& route = net.fib().NextHopPorts(id(), p.dst);
   if (route.empty()) {
+    // Distinguish "the topology never had a path" from "paths exist but every
+    // next-hop link is currently down" — the latter is a fault drop.
+    const bool had_route = !net.fib().AllNextHopPorts(id(), p.dst).empty();
     ++drops_;
-    net.NotifyDrop(id(), p, DropReason::kNoRoute);
+    net.NotifyDrop(id(), p,
+                   had_route ? DropReason::kFaultNoLiveRoute : DropReason::kNoRoute);
     return;
   }
   uint16_t desired;
@@ -171,6 +183,8 @@ std::vector<DetourPortInfo> SwitchNode::SnapshotPorts(const Packet& p) const {
     snapshot[i].full = port.queue().IsFull(p);
     snapshot[i].queue_len = port.queue().size_packets();
     snapshot[i].queue_cap = port.queue().capacity_packets();
+    snapshot[i].link_up = port.link_up();
+    snapshot[i].paused = port.paused();
   }
   return snapshot;
 }

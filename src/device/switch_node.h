@@ -43,6 +43,13 @@ class SwitchNode : public Node {
   // Sum of static per-port capacities (0 if any queue is unbounded).
   size_t buffer_capacity_packets() const;
 
+  // Fault model (src/fault): a crashed switch drops everything it receives
+  // (DropReason::kFaultSwitchDown) until restarted. Link state for the
+  // switch's ports is managed separately by Network::SetSwitchOperational,
+  // which takes every adjacent link down alongside the crash.
+  void SetCrashed(bool crashed) { crashed_ = crashed; }
+  bool crashed() const { return crashed_; }
+
   uint64_t detours() const { return detours_; }
   uint64_t drops() const { return drops_; }
   uint64_t forwarded() const { return forwarded_; }
@@ -66,6 +73,7 @@ class SwitchNode : public Node {
 
   Network* network_;
   std::vector<std::unique_ptr<Port>> ports_;
+  bool crashed_ = false;
   uint64_t detours_ = 0;
   uint64_t drops_ = 0;
   uint64_t forwarded_ = 0;

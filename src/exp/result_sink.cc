@@ -102,6 +102,32 @@ std::string CsvNum(double v) {
   return os.str();
 }
 
+// {"queue-overflow":12,...} keyed by DropReasonName, every reason present so
+// consumers never have to guess which keys exist.
+void WriteDropsByReason(std::ostream& os, const std::vector<uint64_t>& by_reason) {
+  os << "{";
+  for (size_t i = 0; i < kNumDropReasons; ++i) {
+    const uint64_t count = i < by_reason.size() ? by_reason[i] : 0;
+    os << (i == 0 ? "" : ",") << "\"" << DropReasonName(static_cast<DropReason>(i))
+       << "\":" << count;
+  }
+  os << "}";
+}
+
+// CSV folding mirrors FoldAxes: "queue-overflow=12;ttl-expired=3;...".
+std::string FoldDropsByReason(const std::vector<uint64_t>& by_reason) {
+  std::string out;
+  for (size_t i = 0; i < kNumDropReasons; ++i) {
+    const uint64_t count = i < by_reason.size() ? by_reason[i] : 0;
+    if (!out.empty()) {
+      out += ';';
+    }
+    out += std::string(DropReasonName(static_cast<DropReason>(i))) + "=" +
+           std::to_string(count);
+  }
+  return out;
+}
+
 }  // namespace
 
 void JsonlSink::OnRecord(const RunRecord& r) {
@@ -127,7 +153,14 @@ void JsonlSink::OnRecord(const RunRecord& r) {
       << ",\"queries_launched\":" << s.queries_launched
       << ",\"flows_completed\":" << s.flows_completed
       << ",\"flows_started\":" << s.flows_started << ",\"drops\":" << s.drops
-      << ",\"ttl_drops\":" << s.ttl_drops << ",\"detours\":" << s.detours
+      << ",\"ttl_drops\":" << s.ttl_drops << ",\"drops_by_reason\":";
+  WriteDropsByReason(os_, s.drops_by_reason);
+  os_ << ",\"fault_drops\":" << s.fault_drops
+      << ",\"fault_events_applied\":" << s.fault_events_applied
+      << ",\"fault_flows_stalled\":" << s.fault_flows_stalled
+      << ",\"fault_flows_recovered\":" << s.fault_flows_recovered
+      << ",\"fault_recovery_ms_max\":" << JsonNum(s.fault_recovery_ms_max)
+      << ",\"detours\":" << s.detours
       << ",\"delivered_packets\":" << s.delivered_packets
       << ",\"detoured_fraction\":" << JsonNum(s.detoured_fraction)
       << ",\"query_detour_share\":" << JsonNum(s.query_detour_share)
@@ -149,7 +182,9 @@ void CsvSink::OnRecord(const RunRecord& r) {
     os_ << "sweep,run,axes,replication,seed,status,error,wall_ms,events_per_sec,"
            "qct99_ms,bg_fct99_ms,bg_fct99_all_ms,qct_count,qct_p50,qct_p90,qct_p999,"
            "queries_completed,queries_launched,flows_completed,flows_started,"
-           "drops,ttl_drops,detours,delivered_packets,detoured_fraction,"
+           "drops,ttl_drops,drops_by_reason,fault_drops,fault_events_applied,"
+           "fault_flows_stalled,fault_flows_recovered,fault_recovery_ms_max,"
+           "detours,delivered_packets,detoured_fraction,"
            "query_detour_share,detour_count_p99,retransmits,timeouts,"
            "events_processed\n";
     wrote_header_ = true;
@@ -163,7 +198,11 @@ void CsvSink::OnRecord(const RunRecord& r) {
       << s.qct.count << "," << CsvNum(s.qct.p50) << "," << CsvNum(s.qct.p90) << ","
       << CsvNum(s.qct.p999) << "," << s.queries_completed << ","
       << s.queries_launched << "," << s.flows_completed << "," << s.flows_started
-      << "," << s.drops << "," << s.ttl_drops << "," << s.detours << ","
+      << "," << s.drops << "," << s.ttl_drops << ","
+      << CsvEscape(FoldDropsByReason(s.drops_by_reason)) << "," << s.fault_drops << ","
+      << s.fault_events_applied << "," << s.fault_flows_stalled << ","
+      << s.fault_flows_recovered << "," << CsvNum(s.fault_recovery_ms_max) << ","
+      << s.detours << ","
       << s.delivered_packets << "," << CsvNum(s.detoured_fraction) << ","
       << CsvNum(s.query_detour_share) << "," << CsvNum(s.detour_count_p99) << ","
       << s.retransmits << "," << s.timeouts << "," << s.events_processed << "\n";

@@ -14,6 +14,7 @@
 #include <string>
 
 #include "src/device/network.h"
+#include "src/fault/fault_plan.h"
 #include "src/sim/time.h"
 #include "src/topo/builders.h"
 #include "src/transport/tcp_config.h"
@@ -58,6 +59,11 @@ struct ExperimentConfig {
   Time duration = Time::Seconds(1);
   Time drain = Time::Millis(200);
   uint64_t seed = 1;
+
+  // Fault schedule (empty by default = healthy network). Link/switch ids
+  // refer to the topology this config builds; sweep axes mutate the plan to
+  // make fault intensity a sweepable dimension.
+  fault::FaultPlan faults;
 
   // Monitors (off by default; they add sampling overhead).
   bool monitor_links = false;

@@ -11,6 +11,11 @@ Scenario::Scenario(const ExperimentConfig& config) : config_(config) {
   sim_ = std::make_unique<Simulator>(config_.seed);
   network_ = std::make_unique<Network>(sim_.get(), BuildTopology(), config_.net);
   network_->AddObserver(&detour_recorder_);
+  if (!config_.faults.empty()) {
+    network_->AddObserver(&fault_recorder_);
+    fault_injector_ = std::make_unique<fault::FaultInjector>(network_.get(), config_.faults,
+                                                             &fault_recorder_);
+  }
   flows_ = std::make_unique<FlowManager>(network_.get(), config_.transport, config_.tcp,
                                          config_.pfabric);
 
@@ -22,8 +27,10 @@ Scenario::Scenario(const ExperimentConfig& config) : config_(config) {
     // of forwarding-path randomness, so scheme comparisons share workloads.
     opts.seed = config_.seed * 0x9E3779B97F4A7C15ull + 1;
     background_ = std::make_unique<BackgroundWorkload>(
-        network_.get(), flows_.get(), opts, WebSearchFlowSizes(),
-        [this](const FlowResult& r) { recorder_.RecordFlow(r); });
+        network_.get(), flows_.get(), opts, WebSearchFlowSizes(), [this](const FlowResult& r) {
+          recorder_.RecordFlow(r);
+          fault_recorder_.NoteFlowCompleted(r.spec.id);
+        });
   }
 
   if (config_.enable_query) {
@@ -33,7 +40,10 @@ Scenario::Scenario(const ExperimentConfig& config) : config_(config) {
     opts.response_bytes = config_.response_bytes;
     opts.stop_time = config_.duration;
     opts.seed = config_.seed * 0x9E3779B97F4A7C15ull + 2;
-    opts.on_flow_complete = [this](const FlowResult& r) { recorder_.RecordFlow(r); };
+    opts.on_flow_complete = [this](const FlowResult& r) {
+      recorder_.RecordFlow(r);
+      fault_recorder_.NoteFlowCompleted(r.spec.id);
+    };
     query_ = std::make_unique<QueryWorkload>(
         network_.get(), flows_.get(), opts,
         [this](const QueryResult& r) { recorder_.RecordQuery(r); });
@@ -87,6 +97,9 @@ Topology Scenario::BuildTopology() const {
 }
 
 ScenarioResult Scenario::Run() {
+  if (fault_injector_ != nullptr) {
+    fault_injector_->Start();
+  }
   if (background_ != nullptr) {
     background_->Start();
   }
@@ -125,6 +138,15 @@ ScenarioResult Scenario::Run() {
   r.flows_started = flows_->flows_started();
   r.drops = network_->total_drops();
   r.ttl_drops = detour_recorder_.drops(DropReason::kTtlExpired);
+  const auto& by_reason = detour_recorder_.drops_by_reason();
+  r.drops_by_reason.assign(by_reason.begin(), by_reason.end());
+  r.fault_drops = detour_recorder_.fault_drops();
+  if (fault_injector_ != nullptr) {
+    r.fault_events_applied = fault_injector_->events_applied();
+    r.fault_flows_stalled = fault_recorder_.FlowsStalled();
+    r.fault_flows_recovered = fault_recorder_.FlowsRecovered();
+    r.fault_recovery_ms_max = fault_recorder_.MaxRecoveryMs();
+  }
   r.detours = network_->total_detours();
   r.delivered_packets = detour_recorder_.delivered_packets();
   r.detoured_fraction = detour_recorder_.DetouredFraction();
@@ -151,6 +173,21 @@ ScenarioResult Scenario::Run() {
 ScenarioResult RunScenario(const ExperimentConfig& config) {
   Scenario scenario(config);
   return scenario.Run();
+}
+
+std::string FormatDropBreakdown(const std::vector<uint64_t>& drops_by_reason) {
+  std::string out;
+  for (size_t i = 0; i < drops_by_reason.size() && i < kNumDropReasons; ++i) {
+    if (drops_by_reason[i] == 0) {
+      continue;
+    }
+    if (!out.empty()) {
+      out += ';';
+    }
+    out += std::string(DropReasonName(static_cast<DropReason>(i))) + "=" +
+           std::to_string(drops_by_reason[i]);
+  }
+  return out.empty() ? "none" : out;
 }
 
 }  // namespace dibs

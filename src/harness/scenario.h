@@ -9,10 +9,12 @@
 #include <vector>
 
 #include "src/device/network.h"
+#include "src/fault/fault_injector.h"
 #include "src/harness/config.h"
 #include "src/sim/simulator.h"
 #include "src/stats/buffer_monitor.h"
 #include "src/stats/detour_recorder.h"
+#include "src/stats/fault_recorder.h"
 #include "src/stats/flow_recorder.h"
 #include "src/stats/link_monitor.h"
 #include "src/transport/flow_manager.h"
@@ -37,6 +39,14 @@ struct ScenarioResult {
 
   uint64_t drops = 0;
   uint64_t ttl_drops = 0;
+  // Per-reason drop breakdown, indexed by DropReason (size kNumDropReasons).
+  std::vector<uint64_t> drops_by_reason;
+  // Fault impact (zero on healthy runs).
+  uint64_t fault_drops = 0;           // packets killed by any fault
+  uint64_t fault_events_applied = 0;  // plan events that fired
+  uint64_t fault_flows_stalled = 0;   // fault-touched flows that never finished
+  uint64_t fault_flows_recovered = 0; // fault-touched flows that finished anyway
+  double fault_recovery_ms_max = 0;   // slowest repair -> next delivery
   uint64_t detours = 0;
   uint64_t delivered_packets = 0;
   double detoured_fraction = 0;      // fraction of delivered packets detoured
@@ -72,6 +82,7 @@ class Scenario {
   FlowManager& flows() { return *flows_; }
   FlowRecorder& recorder() { return recorder_; }
   DetourRecorder& detours() { return detour_recorder_; }
+  FaultRecorder& faults() { return fault_recorder_; }
   LinkMonitor* link_monitor() { return link_monitor_.get(); }
   BufferMonitor* buffer_monitor() { return buffer_monitor_.get(); }
   QueryWorkload* query_workload() { return query_.get(); }
@@ -86,6 +97,8 @@ class Scenario {
   std::unique_ptr<FlowManager> flows_;
   FlowRecorder recorder_;
   DetourRecorder detour_recorder_;
+  FaultRecorder fault_recorder_;
+  std::unique_ptr<fault::FaultInjector> fault_injector_;
   std::unique_ptr<BackgroundWorkload> background_;
   std::unique_ptr<QueryWorkload> query_;
   std::unique_ptr<LinkMonitor> link_monitor_;
@@ -94,6 +107,11 @@ class Scenario {
 
 // Convenience: build, run, return.
 ScenarioResult RunScenario(const ExperimentConfig& config);
+
+// Human-readable drop breakdown for table cells and log lines:
+// "queue-overflow=12;fault-link-down=3" (nonzero reasons only, reason order);
+// "none" when the run dropped nothing.
+std::string FormatDropBreakdown(const std::vector<uint64_t>& drops_by_reason);
 
 }  // namespace dibs
 

@@ -52,6 +52,21 @@ class DetourRecorder : public NetworkObserver {
   uint64_t drops(DropReason reason) const {
     return drops_by_reason_[static_cast<size_t>(reason)];
   }
+  // Full drop breakdown, indexed by DropReason (size kNumDropReasons).
+  const std::array<uint64_t, kNumDropReasons>& drops_by_reason() const {
+    return drops_by_reason_;
+  }
+  // Sum of all fault-attributed drops (link-down, switch-down, lossy, no
+  // live route).
+  uint64_t fault_drops() const {
+    uint64_t total = 0;
+    for (size_t i = 0; i < kNumDropReasons; ++i) {
+      if (IsFaultDrop(static_cast<DropReason>(i))) {
+        total += drops_by_reason_[i];
+      }
+    }
+    return total;
+  }
   uint64_t delivered_packets() const { return delivered_packets_; }
   uint64_t delivered_with_detours() const { return delivered_with_detours_; }
   uint64_t delivered_marked() const { return delivered_marked_; }
@@ -98,7 +113,7 @@ class DetourRecorder : public NetworkObserver {
   uint64_t total_detours_ = 0;
   uint64_t query_detours_ = 0;
   uint64_t total_drops_ = 0;
-  std::array<uint64_t, 4> drops_by_reason_{};
+  std::array<uint64_t, kNumDropReasons> drops_by_reason_{};
   uint64_t delivered_packets_ = 0;
   uint64_t delivered_with_detours_ = 0;
   uint64_t delivered_marked_ = 0;

@@ -47,7 +47,36 @@ Fib Fib::Compute(const Topology& topo) {
       }
     }
   }
+  fib.live_ = fib.table_;
+  fib.port_up_.resize(num_nodes);
+  for (size_t n = 0; n < num_nodes; ++n) {
+    fib.port_up_[n].assign(topo.ports(static_cast<int>(n)).size(), true);
+  }
   return fib;
+}
+
+void Fib::SetPortState(int node, uint16_t port, bool up) {
+  auto& state = port_up_[static_cast<size_t>(node)];
+  DIBS_DCHECK(port < state.size());
+  if (state[port] == up) {
+    return;
+  }
+  state[port] = up;
+  RebuildLiveEntries(node);
+}
+
+void Fib::RebuildLiveEntries(int node) {
+  const auto& state = port_up_[static_cast<size_t>(node)];
+  const auto& pristine = table_[static_cast<size_t>(node)];
+  auto& live = live_[static_cast<size_t>(node)];
+  for (size_t dst = 0; dst < pristine.size(); ++dst) {
+    live[dst].clear();
+    for (uint16_t port : pristine[dst]) {
+      if (state[port]) {
+        live[dst].push_back(port);
+      }
+    }
+  }
 }
 
 uint16_t Fib::EcmpPort(int node, HostId dst, FlowId flow) const {

@@ -23,10 +23,30 @@ class Fib {
   // Computes shortest-path ECMP tables for every node toward every host.
   static Fib Compute(const Topology& topo);
 
-  // Ports of `node` on shortest paths toward host `dst`. Empty only if the
-  // destination is unreachable (never the case for the built-in topologies).
+  // Live ports of `node` on shortest paths toward host `dst`: the pristine
+  // shortest-path set minus any port currently masked by SetPortState (link
+  // or switch fault). Empty when the destination is unreachable in the
+  // pristine topology OR when every next-hop link is dead — callers
+  // distinguish the two via AllNextHopPorts.
   const std::vector<uint16_t>& NextHopPorts(int node, HostId dst) const {
+    return live_[static_cast<size_t>(node)][static_cast<size_t>(dst)];
+  }
+
+  // The pristine (fault-free) shortest-path port set.
+  const std::vector<uint16_t>& AllNextHopPorts(int node, HostId dst) const {
     return table_[static_cast<size_t>(node)][static_cast<size_t>(dst)];
+  }
+
+  // Fault model hook (src/fault via Network): masks or restores one port of
+  // `node` in every destination's live next-hop set. Idempotent; restoring
+  // re-adds the port in pristine (deterministic) order. ECMP re-picks among
+  // the live set, so flows re-hash onto surviving paths immediately.
+  void SetPortState(int node, uint16_t port, bool up);
+
+  // True when SetPortState has masked this port.
+  bool PortMasked(int node, uint16_t port) const {
+    const auto& up = port_up_[static_cast<size_t>(node)];
+    return port < up.size() && !up[port];
   }
 
   // Hop count from `node` to host `dst` (-1 if unreachable).
@@ -41,8 +61,14 @@ class Fib {
   int num_nodes() const { return static_cast<int>(table_.size()); }
 
  private:
-  // table_[node][dst] = ports on shortest paths; dist_[node][dst] = hops.
+  // Rebuilds live_[node] from table_[node] and port_up_[node].
+  void RebuildLiveEntries(int node);
+
+  // table_[node][dst] = pristine ports on shortest paths; live_ is the same
+  // minus masked ports; dist_[node][dst] = hops; port_up_[node][port] = mask.
   std::vector<std::vector<std::vector<uint16_t>>> table_;
+  std::vector<std::vector<std::vector<uint16_t>>> live_;
+  std::vector<std::vector<bool>> port_up_;
   std::vector<std::vector<int>> dist_;
 };
 

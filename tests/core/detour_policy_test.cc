@@ -199,6 +199,53 @@ TEST(ProbabilisticDetourTest, ChoosesEligiblePort) {
   }
 }
 
+TEST(RandomDetourTest, NeverPicksDownPorts) {
+  ContextFixture f({false, false, false});
+  f.ports[2].link_up = false;  // fault model took this uplink down
+  f.ports[4].link_up = false;
+  RandomDetour policy;
+  Rng rng(53);
+  for (int i = 0; i < 300; ++i) {
+    const auto port = policy.ChoosePort(f.ctx, rng);
+    ASSERT_TRUE(port.has_value());
+    EXPECT_EQ(*port, 3);  // the only live switch-facing port
+  }
+}
+
+TEST(RandomDetourTest, NeverPicksPausedPorts) {
+  ContextFixture f({false, false, false});
+  f.ports[3].paused = true;  // flow control XOFF'd this transmitter
+  RandomDetour policy;
+  Rng rng(59);
+  for (int i = 0; i < 300; ++i) {
+    const auto port = policy.ChoosePort(f.ctx, rng);
+    ASSERT_TRUE(port.has_value());
+    EXPECT_NE(*port, 3);
+  }
+}
+
+TEST(RandomDetourTest, DropsWhenEveryEligiblePortIsDownOrPaused) {
+  ContextFixture f({false, false, false});
+  f.ports[2].link_up = false;
+  f.ports[3].paused = true;
+  f.ports[4].link_up = false;
+  RandomDetour policy;
+  Rng rng(61);
+  EXPECT_FALSE(policy.ChoosePort(f.ctx, rng).has_value());
+}
+
+TEST(LoadAwareDetourTest, ShortestQueueLosesToLiveness) {
+  ContextFixture f({false, false});
+  f.ports[2].queue_len = 1;  // emptiest, but dead
+  f.ports[2].link_up = false;
+  f.ports[3].queue_len = 80;
+  LoadAwareDetour policy;
+  Rng rng(67);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(*policy.ChoosePort(f.ctx, rng), 3);
+  }
+}
+
 // Factory behavior and the policy-name round trip.
 class PolicyFactorySweep : public ::testing::TestWithParam<std::string> {};
 
@@ -211,7 +258,9 @@ TEST_P(PolicyFactorySweep, FactoryProducesNamedPolicy) {
 
 TEST_P(PolicyFactorySweep, AllPoliciesRespectEligibility) {
   auto policy = MakeDetourPolicy(GetParam());
-  ContextFixture f({true, false, true, false});
+  ContextFixture f({true, false, true, false, false, false});
+  f.ports[6].link_up = false;  // downed by the fault model
+  f.ports[7].paused = true;    // XOFF'd by flow control
   Rng rng(47);
   for (int i = 0; i < 100; ++i) {
     const auto port = policy->ChoosePort(f.ctx, rng);
@@ -222,6 +271,8 @@ TEST_P(PolicyFactorySweep, AllPoliciesRespectEligibility) {
     EXPECT_NE(*port, 1);
     EXPECT_NE(*port, 2);  // full
     EXPECT_NE(*port, 4);  // full
+    EXPECT_NE(*port, 6);  // down
+    EXPECT_NE(*port, 7);  // paused
   }
 }
 

@@ -9,6 +9,7 @@
 
 #include <cmath>
 #include <deque>
+#include <vector>
 
 #include "src/device/host_node.h"
 #include "src/device/network.h"
@@ -196,6 +197,46 @@ TEST(TcpStateMachine, NewAckResetsBackoff) {
   h.Settle();
   h.sim_.RunFor(Time::Millis(35));  // a couple of timeouts
   EXPECT_GE(h.sender_->timeouts(), 2u);
+  h.SendAck(1);
+  EXPECT_LE(h.sender_->current_rto(), Time::Millis(10) + Time::Millis(1));
+}
+
+TEST(TcpStateMachine, SustainedBlackholeClimbsRtoLadderToCapThenResets) {
+  // A real outage, not hand-dropped ACKs: the sender's NIC link goes
+  // administratively down (fault model), so every retransmission blackholes
+  // and the RTO must walk the full exponential ladder up to max_rto.
+  TcpConfig cfg = NewRenoConfig();
+  cfg.max_rto = Time::Millis(80);
+  SenderHarness h(cfg);
+  h.sender_->Start();
+  h.Settle();
+  ASSERT_EQ(h.received_.size(), 4u);  // initial burst arrived before the fault
+  h.net_.SetLinkAdminState(0, false);
+
+  // Record current_rto() after each of the first six timeouts.
+  std::vector<Time> ladder;
+  uint32_t seen = h.sender_->timeouts();
+  while (ladder.size() < 6) {
+    ASSERT_LT(h.sim_.Now(), Time::Seconds(1)) << "RTO ladder never climbed";
+    h.sim_.RunFor(Time::Millis(2));
+    if (h.sender_->timeouts() > seen) {
+      seen = h.sender_->timeouts();
+      ladder.push_back(h.sender_->current_rto());
+    }
+  }
+  // 10ms doubles per timeout until the 80ms cap, then stays pinned there.
+  EXPECT_EQ(ladder[0], Time::Millis(20));
+  EXPECT_EQ(ladder[1], Time::Millis(40));
+  EXPECT_EQ(ladder[2], Time::Millis(80));
+  EXPECT_EQ(ladder[3], Time::Millis(80));
+  EXPECT_EQ(ladder[4], Time::Millis(80));
+  EXPECT_EQ(ladder[5], Time::Millis(80));
+  // Nothing got through during the outage.
+  EXPECT_EQ(h.received_.size(), 4u);
+
+  // Repair the link; the first ACK of new data resets the backoff, and
+  // Karn's rule keeps the retransmitted segments out of the RTT estimate.
+  h.net_.SetLinkAdminState(0, true);
   h.SendAck(1);
   EXPECT_LE(h.sender_->current_rto(), Time::Millis(10) + Time::Millis(1));
 }

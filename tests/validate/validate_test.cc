@@ -10,6 +10,8 @@
 #include "src/device/host_node.h"
 #include "src/device/invariant_checker.h"
 #include "src/device/network.h"
+#include "src/device/port.h"
+#include "src/device/switch_node.h"
 #include "src/net/droptail_queue.h"
 #include "src/net/packet_debug.h"
 #include "src/net/pfabric_queue.h"
@@ -122,6 +124,32 @@ TEST(ValidateFaultInjection, TtlGrowthIsCaught) {
   const ValidationError e =
       CaptureViolation([&] { checker.OnHostDeliver(1, p, Time::Zero()); });
   EXPECT_EQ(e.invariant(), "ledger.ttl-grew");
+}
+
+// Fault injection 4: a packet delivered through a DOWN port must trip the
+// dead-port-delivery invariant. Down ports drain their queue and blackhole
+// new enqueues, so a correct device never transmits on a dead link; here we
+// simulate the device bug by pushing straight into the queue (bypassing
+// EnqueueAndTransmit's blackhole) and kicking the transmitter.
+TEST(ValidateFaultInjection, DeliveryThroughDownPortIsCaught) {
+  validate::ScopedEnable on;
+  Topology t;
+  const int sw = t.AddNode(NodeKind::kSwitch, "sw");
+  for (int i = 0; i < 2; ++i) {
+    const int h = t.AddHost("h" + std::to_string(i));
+    t.AddLink(h, sw, kGbps, Time::Micros(1));
+  }
+  Simulator sim;
+  Network net(&sim, std::move(t), NetworkConfig{});
+  ASSERT_NE(net.invariant_checker(), nullptr);
+
+  net.SetLinkAdminState(/*link=*/1, false);  // sw -- host1
+  Port& port = net.switch_at(sw).port(1);
+  ASSERT_FALSE(port.link_up());
+  ASSERT_TRUE(port.queue().Enqueue(MakePacket(net.NextPacketUid())));
+  const ValidationError e = CaptureViolation([&] { port.SetPaused(false); });
+  EXPECT_EQ(e.invariant(), "ledger.dead-port-delivery");
+  EXPECT_NE(e.detail().find("down"), std::string::npos) << e.what();
 }
 
 // The diagnostic carries the packet's path trace when tracing is attached,
