@@ -14,6 +14,18 @@
 //   DIBS_REQUIRE_OK         abort if any run fails or times out; CI sets it
 //                           so DIBS_VALIDATE violations inside sweep runs
 //                           (surfaced as failed records) fail the pipeline
+//   DIBS_STRICT             softer than DIBS_REQUIRE_OK: let the sweep run
+//                           to completion (retries, isolation, degraded
+//                           rows and all), then exit nonzero if any row is
+//                           not ok
+//   DIBS_JOURNAL            append-only run journal; with DIBS_RESUME=1 a
+//                           restarted bench skips rows journaled as ok
+//   DIBS_ISOLATE            "process" forks every run (crash containment +
+//                           hard watchdog); default in-process threads
+//   DIBS_MAX_ATTEMPTS       retries per failed/timeout/crashed row
+//   DIBS_RETRY_BACKOFF_MS   initial retry backoff (exponential, bounded)
+//   DIBS_WATCHDOG_GRACE_SEC SIGKILL slack past DIBS_RUN_TIMEOUT_SEC
+// (see EXPERIMENTS.md "Resumable sweeps")
 
 #ifndef BENCH_BENCH_UTIL_H_
 #define BENCH_BENCH_UTIL_H_
@@ -97,6 +109,16 @@ inline std::vector<RunRecord> RunBenchRuns(const std::string& name,
       }
     }
   }
+  if (const char* env = std::getenv("DIBS_STRICT"); env != nullptr && env[0] != '0') {
+    const SweepSummary& s = engine.summary();
+    if (!s.AllOk()) {
+      DIBS_LOG(kError) << "DIBS_STRICT: sweep '" << name << "' finished with "
+                       << s.ok << "/" << s.total << " ok (failed " << s.failed
+                       << ", timeout " << s.timeout << ", crashed " << s.crashed
+                       << ", quarantined " << s.quarantined << "); exiting nonzero";
+      std::exit(1);
+    }
+  }
   return records;
 }
 
@@ -114,6 +136,17 @@ inline SweepAxis SchemeAxis(std::vector<std::pair<std::string, ExperimentConfig>
     axis.values.push_back({label, [config](ExperimentConfig& c) { c = config; }});
   }
   return axis;
+}
+
+// Table cell for a value computed from `rec.result`: the value when the run
+// completed, an explicit "<failed>"/"<timeout>"/"<crashed>"/"<quarantined>"
+// marker otherwise — degraded sweeps render every row, never silently print
+// a zeroed result as if it were real data.
+inline std::string ResultCell(const RunRecord& rec, std::string value) {
+  if (rec.status == RunStatus::kOk) {
+    return value;
+  }
+  return "<" + std::string(RunStatusName(rec.status)) + ">";
 }
 
 // First record whose coordinates include every given (axis, value) pair.

@@ -34,11 +34,11 @@ int main() {
     // The per-packet detour-count tail (§5.4.4 reports "1% of packets are
     // detoured 40 times or more" at degree 100) ships in the ScenarioResult.
     table.PrintRow({TablePrinter::Int(static_cast<uint64_t>(degree)),
-                    TablePrinter::Num(dctcp.result.qct99_ms),
-                    TablePrinter::Num(dibs.result.qct99_ms),
-                    TablePrinter::Num(dctcp.result.bg_fct99_ms),
-                    TablePrinter::Num(dibs.result.bg_fct99_ms),
-                    TablePrinter::Num(dibs.result.detour_count_p99, 0)});
+                    ResultCell(dctcp, TablePrinter::Num(dctcp.result.qct99_ms)),
+                    ResultCell(dibs, TablePrinter::Num(dibs.result.qct99_ms)),
+                    ResultCell(dctcp, TablePrinter::Num(dctcp.result.bg_fct99_ms)),
+                    ResultCell(dibs, TablePrinter::Num(dibs.result.bg_fct99_ms)),
+                    ResultCell(dibs, TablePrinter::Num(dibs.result.detour_count_p99, 0))});
   }
   return 0;
 }

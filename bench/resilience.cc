@@ -70,12 +70,12 @@ int main() {
       const RunRecord& rec =
           FindRecord(records, {{"scheme", scheme}, {"fault", fault}});
       const ScenarioResult& r = rec.result;
-      table.PrintRow({fault, scheme, TablePrinter::Num(r.qct99_ms),
-                      TablePrinter::Int(r.fault_drops),
-                      TablePrinter::Int(r.fault_flows_recovered),
-                      TablePrinter::Int(r.fault_flows_stalled),
-                      TablePrinter::Num(r.fault_recovery_ms_max),
-                      FormatDropBreakdown(r.drops_by_reason)});
+      table.PrintRow({fault, scheme, ResultCell(rec, TablePrinter::Num(r.qct99_ms)),
+                      ResultCell(rec, TablePrinter::Int(r.fault_drops)),
+                      ResultCell(rec, TablePrinter::Int(r.fault_flows_recovered)),
+                      ResultCell(rec, TablePrinter::Int(r.fault_flows_stalled)),
+                      ResultCell(rec, TablePrinter::Num(r.fault_recovery_ms_max)),
+                      ResultCell(rec, FormatDropBreakdown(r.drops_by_reason))});
     }
   }
   return 0;

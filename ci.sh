@@ -25,7 +25,16 @@
 #                           DIBS_JOBS=8 — and diffed: tables byte-identical,
 #                           JSONL identical modulo host-side wall-clock
 #                           metadata (wall_ms / events_per_sec).
-#   8. tsan               — sweep engine under ThreadSanitizer (tests/exp)
+#   8. crash-resume       — kills (SIGKILL) the resilience bench mid-sweep,
+#                           resumes it from its run journal (DIBS_RESUME=1),
+#                           and byte-diffs the resumed tables/JSONL against
+#                           an uninterrupted run at DIBS_JOBS=1 and 8 — the
+#                           acceptance bar for journal-backed resume. The
+#                           crash/hang injection hooks behind the same
+#                           machinery (DIBS_TEST_CRASH_RUN, DIBS_ISOLATE)
+#                           are exercised by tests/exp under stage 5's
+#                           ASan+UBSan config.
+#   9. tsan               — sweep engine under ThreadSanitizer (tests/exp)
 #                           so data races in the threaded layer fail the
 #                           pipeline.
 #
@@ -86,6 +95,72 @@ done
 diff -u "$RES_TMP/res_j1.txt" "$RES_TMP/res_j8.txt"
 diff -u "$RES_TMP/res_j1.norm" "$RES_TMP/res_j8.norm"
 echo "resilience: byte-identical across DIBS_JOBS=1/8"
+
+echo "== crash-resume: kill -9 mid-sweep, resume from journal, byte-diff =="
+# Plain (fast) build of the same bench. For each worker count: run once
+# uninterrupted as the baseline, then start a journaled run, SIGKILL it once
+# a few rows hit the journal, resume with DIBS_RESUME=1 into fresh sink
+# files, and require tables and (normalized) JSONL byte-identical to the
+# baseline. DIBS_STRICT=1 on the resumed leg also proves the strict gate
+# passes a fully-recovered sweep.
+cmake --build build -j"$JOBS" --target resilience
+CR_TMP="$RES_TMP/crash_resume"
+mkdir -p "$CR_TMP"
+normalize_wall() {
+  sed -E 's/"wall_ms":[0-9.eE+-]+,"events_per_sec":[0-9.eE+-]+/"wall_ms":0,"events_per_sec":0/' \
+    "$1" > "$2"
+}
+# CSV columns 9/10 are wall_ms and events_per_sec (no quoted commas precede
+# them on ok rows).
+normalize_csv_wall() {
+  awk -F, 'BEGIN{OFS=","} {if (NF > 10) {$9="0"; $10="0"} print}' "$1" > "$2"
+}
+for jobs in 1 8; do
+  rm -f "$CR_TMP"/*
+  DIBS_BENCH_DURATION_MS=50 DIBS_JOBS="$jobs" \
+    DIBS_SWEEP_JSONL="$CR_TMP/base.jsonl" \
+    DIBS_SWEEP_CSV="$CR_TMP/base.csv" \
+    ./build/bench/resilience > "$CR_TMP/base.txt"
+
+  DIBS_BENCH_DURATION_MS=50 DIBS_JOBS="$jobs" \
+    DIBS_JOURNAL="$CR_TMP/sweep.journal" \
+    DIBS_SWEEP_JSONL="$CR_TMP/killed.jsonl" \
+    ./build/bench/resilience > /dev/null 2>&1 &
+  victim=$!
+  # Wait for the journal to hold the header plus >= 2 run records, then
+  # SIGKILL. If the sweep finishes first the resume leg degrades to a
+  # full-replay check, which must produce identical output too.
+  for _ in $(seq 1 400); do
+    lines=0
+    if [ -f "$CR_TMP/sweep.journal" ]; then
+      lines=$(wc -l < "$CR_TMP/sweep.journal")
+    fi
+    if [ "$lines" -ge 3 ]; then
+      break
+    fi
+    if ! kill -0 "$victim" 2>/dev/null; then
+      break
+    fi
+    sleep 0.05
+  done
+  kill -9 "$victim" 2>/dev/null || true
+  wait "$victim" 2>/dev/null || true
+
+  DIBS_RESUME=1 DIBS_STRICT=1 DIBS_BENCH_DURATION_MS=50 DIBS_JOBS="$jobs" \
+    DIBS_JOURNAL="$CR_TMP/sweep.journal" \
+    DIBS_SWEEP_JSONL="$CR_TMP/resumed.jsonl" \
+    DIBS_SWEEP_CSV="$CR_TMP/resumed.csv" \
+    ./build/bench/resilience > "$CR_TMP/resumed.txt"
+
+  normalize_wall "$CR_TMP/base.jsonl" "$CR_TMP/base.norm"
+  normalize_wall "$CR_TMP/resumed.jsonl" "$CR_TMP/resumed.norm"
+  normalize_csv_wall "$CR_TMP/base.csv" "$CR_TMP/base.csvnorm"
+  normalize_csv_wall "$CR_TMP/resumed.csv" "$CR_TMP/resumed.csvnorm"
+  diff -u "$CR_TMP/base.txt" "$CR_TMP/resumed.txt"
+  diff -u "$CR_TMP/base.norm" "$CR_TMP/resumed.norm"
+  diff -u "$CR_TMP/base.csvnorm" "$CR_TMP/resumed.csvnorm"
+  echo "crash-resume: byte-identical after SIGKILL + resume at DIBS_JOBS=$jobs"
+done
 
 echo "== tsan: sweep engine under ThreadSanitizer =="
 cmake -B build-tsan -S . -DDIBS_SANITIZE=thread >/dev/null

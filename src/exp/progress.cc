@@ -13,38 +13,65 @@ ProgressReporter::ProgressReporter(std::string name, size_t total, bool enabled)
       tty_(isatty(fileno(stderr)) != 0),
       start_(std::chrono::steady_clock::now()) {}
 
-void ProgressReporter::PrintLine(size_t done, size_t ok, size_t failed,
-                                 size_t timeout, bool last) {
+std::string ProgressReporter::ComposeLine(const SweepSummary& s,
+                                          double elapsed_sec) const {
+  char buf[64];
+  std::string line = "[sweep " + name_ + "] " + std::to_string(s.done()) + "/" +
+                     std::to_string(total_) + " done";
+  if (s.done() != s.ok) {
+    line += " (ok " + std::to_string(s.ok);
+    if (s.failed != 0) {
+      line += ", failed " + std::to_string(s.failed);
+    }
+    if (s.timeout != 0) {
+      line += ", timeout " + std::to_string(s.timeout);
+    }
+    if (s.crashed != 0) {
+      line += ", crashed " + std::to_string(s.crashed);
+    }
+    if (s.quarantined != 0) {
+      line += ", quarantined " + std::to_string(s.quarantined);
+    }
+    line += ")";
+  }
+  if (s.retried != 0) {
+    line += " [retried " + std::to_string(s.retried) + "]";
+  }
+  if (s.resumed != 0) {
+    line += " [resumed " + std::to_string(s.resumed) + "]";
+  }
+  std::snprintf(buf, sizeof(buf), " in %.1fs", elapsed_sec);
+  line += buf;
+  return line;
+}
+
+void ProgressReporter::PrintLine(const SweepSummary& summary, bool last) {
   const double elapsed =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start_).count();
-  std::fprintf(stderr, "%s[sweep %s] %zu/%zu done", tty_ ? "\r" : "", name_.c_str(),
-               done, total_);
-  if (failed != 0 || timeout != 0) {
-    std::fprintf(stderr, " (ok %zu, failed %zu, timeout %zu)", ok, failed, timeout);
-  }
-  std::fprintf(stderr, " in %.1fs%s", elapsed, tty_ && !last ? "" : "\n");
+  std::fprintf(stderr, "%s%s%s", tty_ ? "\r" : "",
+               ComposeLine(summary, elapsed).c_str(), tty_ && !last ? "" : "\n");
   std::fflush(stderr);
 }
 
-void ProgressReporter::Update(size_t done, size_t ok, size_t failed, size_t timeout) {
-  if (!enabled_ || done >= total_) {
+void ProgressReporter::Update(const SweepSummary& summary) {
+  if (!enabled_ || summary.done() >= total_) {
     return;  // the final line comes from Finish()
   }
   if (tty_) {
-    PrintLine(done, ok, failed, timeout, /*last=*/false);
+    PrintLine(summary, /*last=*/false);
     return;
   }
-  if (done >= next_milestone_) {
-    PrintLine(done, ok, failed, timeout, /*last=*/false);
-    next_milestone_ = done + (total_ + 9) / 10;
+  if (summary.done() >= next_milestone_) {
+    PrintLine(summary, /*last=*/false);
+    next_milestone_ = summary.done() + (total_ + 9) / 10;
   }
 }
 
-void ProgressReporter::Finish(size_t ok, size_t failed, size_t timeout) {
+void ProgressReporter::Finish(const SweepSummary& summary) {
   if (!enabled_) {
     return;
   }
-  PrintLine(ok + failed + timeout, ok, failed, timeout, /*last=*/true);
+  PrintLine(summary, /*last=*/true);
 }
 
 }  // namespace dibs

@@ -10,6 +10,8 @@
 #include <cstddef>
 #include <string>
 
+#include "src/exp/run_record.h"
+
 namespace dibs {
 
 class ProgressReporter {
@@ -18,13 +20,20 @@ class ProgressReporter {
   ProgressReporter(std::string name, size_t total, bool enabled);
 
   // Caller (the sweep engine) serializes calls; this class keeps no lock.
-  void Update(size_t done, size_t ok, size_t failed, size_t timeout);
+  void Update(const SweepSummary& summary);
 
   // Prints the final summary line (always, even off-tty) and a newline.
-  void Finish(size_t ok, size_t failed, size_t timeout);
+  void Finish(const SweepSummary& summary);
+
+  // The line body (no \r / trailing newline), e.g.
+  //   "[sweep fig11] 7/12 done (ok 5, failed 1, timeout 1) in 3.1s"
+  // Degraded statuses (failed/timeout/crashed/quarantined) and
+  // retried/resumed counts appear only when nonzero, so the healthy-sweep
+  // line stays short. Exposed for the unit test.
+  std::string ComposeLine(const SweepSummary& summary, double elapsed_sec) const;
 
  private:
-  void PrintLine(size_t done, size_t ok, size_t failed, size_t timeout, bool last);
+  void PrintLine(const SweepSummary& summary, bool last);
 
   std::string name_;
   size_t total_;

@@ -1,0 +1,563 @@
+#include "src/exp/record_codec.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <vector>
+
+namespace dibs {
+namespace {
+
+// --- Encoding ---
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+// Round-trip double formatting; JSON has no NaN/inf, so map those to null.
+std::string JsonNum(double v) {
+  if (!std::isfinite(v)) {
+    return "null";
+  }
+  std::ostringstream os;
+  os.precision(std::numeric_limits<double>::max_digits10);
+  os << v;
+  return os.str();
+}
+
+void WriteSummary(std::ostream& os, const Summary& s) {
+  os << "{\"count\":" << s.count << ",\"mean\":" << JsonNum(s.mean)
+     << ",\"min\":" << JsonNum(s.min) << ",\"max\":" << JsonNum(s.max)
+     << ",\"p50\":" << JsonNum(s.p50) << ",\"p90\":" << JsonNum(s.p90)
+     << ",\"p99\":" << JsonNum(s.p99) << ",\"p999\":" << JsonNum(s.p999) << "}";
+}
+
+void WriteDoubleArray(std::ostream& os, const std::vector<double>& v) {
+  os << "[";
+  for (size_t i = 0; i < v.size(); ++i) {
+    os << (i == 0 ? "" : ",") << JsonNum(v[i]);
+  }
+  os << "]";
+}
+
+// {"queue-overflow":12,...} keyed by DropReasonName, every reason present so
+// consumers never have to guess which keys exist.
+void WriteDropsByReason(std::ostream& os, const std::vector<uint64_t>& by_reason) {
+  os << "{";
+  for (size_t i = 0; i < kNumDropReasons; ++i) {
+    const uint64_t count = i < by_reason.size() ? by_reason[i] : 0;
+    os << (i == 0 ? "" : ",") << "\"" << DropReasonName(static_cast<DropReason>(i))
+       << "\":" << count;
+  }
+  os << "}";
+}
+
+// --- Decoding: a minimal JSON value + recursive-descent parser, just big
+// enough for the flat, known-shape objects the encoder emits. ---
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject } kind =
+      Kind::kNull;
+  bool boolean = false;
+  double number = 0;
+  std::string text;  // unparsed token for numbers (exact uint64), string value
+  std::vector<JsonValue> items;
+  // Encoder emits keys at most once per object; insertion order is not
+  // significant for decoding, so a map keeps lookups simple.
+  std::map<std::string, JsonValue> fields;
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& input) : in_(input) {}
+
+  bool Parse(JsonValue* out, std::string* error) {
+    if (!ParseValue(out)) {
+      if (error != nullptr) {
+        *error = error_.empty() ? "malformed JSON" : error_;
+      }
+      return false;
+    }
+    SkipSpace();
+    if (pos_ != in_.size()) {
+      if (error != nullptr) {
+        *error = "trailing characters at offset " + std::to_string(pos_);
+      }
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < in_.size() &&
+           (in_[pos_] == ' ' || in_[pos_] == '\t' || in_[pos_] == '\n' ||
+            in_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Fail(const std::string& what) {
+    if (error_.empty()) {
+      error_ = what + " at offset " + std::to_string(pos_);
+    }
+    return false;
+  }
+
+  bool Consume(char c) {
+    SkipSpace();
+    if (pos_ >= in_.size() || in_[pos_] != c) {
+      return Fail(std::string("expected '") + c + "'");
+    }
+    ++pos_;
+    return true;
+  }
+
+  bool ParseLiteral(const char* word, JsonValue* out, JsonValue::Kind kind,
+                    bool boolean) {
+    for (const char* p = word; *p != '\0'; ++p, ++pos_) {
+      if (pos_ >= in_.size() || in_[pos_] != *p) {
+        return Fail("bad literal");
+      }
+    }
+    out->kind = kind;
+    out->boolean = boolean;
+    if (kind == JsonValue::Kind::kNull) {
+      out->number = std::numeric_limits<double>::quiet_NaN();
+    }
+    return true;
+  }
+
+  bool ParseString(std::string* out) {
+    if (!Consume('"')) {
+      return false;
+    }
+    out->clear();
+    while (pos_ < in_.size()) {
+      const char c = in_[pos_++];
+      if (c == '"') {
+        return true;
+      }
+      if (c != '\\') {
+        *out += c;
+        continue;
+      }
+      if (pos_ >= in_.size()) {
+        break;
+      }
+      const char esc = in_[pos_++];
+      switch (esc) {
+        case '"':
+          *out += '"';
+          break;
+        case '\\':
+          *out += '\\';
+          break;
+        case '/':
+          *out += '/';
+          break;
+        case 'n':
+          *out += '\n';
+          break;
+        case 'r':
+          *out += '\r';
+          break;
+        case 't':
+          *out += '\t';
+          break;
+        case 'b':
+          *out += '\b';
+          break;
+        case 'f':
+          *out += '\f';
+          break;
+        case 'u': {
+          if (pos_ + 4 > in_.size()) {
+            return Fail("truncated \\u escape");
+          }
+          const std::string hex = in_.substr(pos_, 4);
+          pos_ += 4;
+          const long code = std::strtol(hex.c_str(), nullptr, 16);
+          // The encoder only emits \u00xx for control bytes; decode those
+          // directly and pass anything wider through as '?' rather than
+          // growing a UTF-16 decoder nobody writes into these fields.
+          *out += code < 0x80 ? static_cast<char>(code) : '?';
+          break;
+        }
+        default:
+          return Fail("bad escape");
+      }
+    }
+    return Fail("unterminated string");
+  }
+
+  bool ParseValue(JsonValue* out) {
+    SkipSpace();
+    if (pos_ >= in_.size()) {
+      return Fail("unexpected end of input");
+    }
+    const char c = in_[pos_];
+    switch (c) {
+      case 'n':
+        return ParseLiteral("null", out, JsonValue::Kind::kNull, false);
+      case 't':
+        return ParseLiteral("true", out, JsonValue::Kind::kBool, true);
+      case 'f':
+        return ParseLiteral("false", out, JsonValue::Kind::kBool, false);
+      case '"':
+        out->kind = JsonValue::Kind::kString;
+        return ParseString(&out->text);
+      case '[': {
+        ++pos_;
+        out->kind = JsonValue::Kind::kArray;
+        SkipSpace();
+        if (pos_ < in_.size() && in_[pos_] == ']') {
+          ++pos_;
+          return true;
+        }
+        while (true) {
+          JsonValue item;
+          if (!ParseValue(&item)) {
+            return false;
+          }
+          out->items.push_back(std::move(item));
+          SkipSpace();
+          if (pos_ < in_.size() && in_[pos_] == ',') {
+            ++pos_;
+            continue;
+          }
+          return Consume(']');
+        }
+      }
+      case '{': {
+        ++pos_;
+        out->kind = JsonValue::Kind::kObject;
+        SkipSpace();
+        if (pos_ < in_.size() && in_[pos_] == '}') {
+          ++pos_;
+          return true;
+        }
+        while (true) {
+          std::string key;
+          if (!ParseString(&key) || !Consume(':')) {
+            return false;
+          }
+          JsonValue value;
+          if (!ParseValue(&value)) {
+            return false;
+          }
+          out->fields[key] = std::move(value);
+          SkipSpace();
+          if (pos_ < in_.size() && in_[pos_] == ',') {
+            ++pos_;
+            continue;
+          }
+          return Consume('}');
+        }
+      }
+      default: {
+        const size_t start = pos_;
+        while (pos_ < in_.size() &&
+               (in_[pos_] == '-' || in_[pos_] == '+' || in_[pos_] == '.' ||
+                in_[pos_] == 'e' || in_[pos_] == 'E' ||
+                (in_[pos_] >= '0' && in_[pos_] <= '9'))) {
+          ++pos_;
+        }
+        if (pos_ == start) {
+          return Fail("unexpected character");
+        }
+        out->kind = JsonValue::Kind::kNumber;
+        out->text = in_.substr(start, pos_ - start);
+        out->number = std::strtod(out->text.c_str(), nullptr);
+        return true;
+      }
+    }
+  }
+
+  const std::string& in_;
+  size_t pos_ = 0;
+  std::string error_;
+};
+
+// --- Field extraction helpers (absent keys leave the default in place) ---
+
+const JsonValue* Find(const JsonValue& obj, const std::string& key) {
+  if (obj.kind != JsonValue::Kind::kObject) {
+    return nullptr;
+  }
+  const auto it = obj.fields.find(key);
+  return it == obj.fields.end() ? nullptr : &it->second;
+}
+
+void GetDouble(const JsonValue& obj, const std::string& key, double* out) {
+  if (const JsonValue* v = Find(obj, key); v != nullptr) {
+    *out = v->kind == JsonValue::Kind::kNull
+               ? std::numeric_limits<double>::quiet_NaN()
+               : v->number;
+  }
+}
+
+template <typename T>
+void GetUint(const JsonValue& obj, const std::string& key, T* out) {
+  if (const JsonValue* v = Find(obj, key);
+      v != nullptr && v->kind == JsonValue::Kind::kNumber) {
+    // Parse from the raw token so full-range uint64 seeds survive (a double
+    // only holds 53 bits exactly).
+    *out = static_cast<T>(std::strtoull(v->text.c_str(), nullptr, 10));
+  }
+}
+
+void GetInt(const JsonValue& obj, const std::string& key, int* out) {
+  if (const JsonValue* v = Find(obj, key);
+      v != nullptr && v->kind == JsonValue::Kind::kNumber) {
+    *out = static_cast<int>(std::strtol(v->text.c_str(), nullptr, 10));
+  }
+}
+
+void GetString(const JsonValue& obj, const std::string& key, std::string* out) {
+  if (const JsonValue* v = Find(obj, key);
+      v != nullptr && v->kind == JsonValue::Kind::kString) {
+    *out = v->text;
+  }
+}
+
+void GetSummary(const JsonValue& obj, const std::string& key, Summary* out) {
+  const JsonValue* v = Find(obj, key);
+  if (v == nullptr || v->kind != JsonValue::Kind::kObject) {
+    return;
+  }
+  GetUint(*v, "count", &out->count);
+  GetDouble(*v, "mean", &out->mean);
+  GetDouble(*v, "min", &out->min);
+  GetDouble(*v, "max", &out->max);
+  GetDouble(*v, "p50", &out->p50);
+  GetDouble(*v, "p90", &out->p90);
+  GetDouble(*v, "p99", &out->p99);
+  GetDouble(*v, "p999", &out->p999);
+}
+
+void GetDoubleArray(const JsonValue& obj, const std::string& key,
+                    std::vector<double>* out) {
+  const JsonValue* v = Find(obj, key);
+  if (v == nullptr || v->kind != JsonValue::Kind::kArray) {
+    return;
+  }
+  out->clear();
+  out->reserve(v->items.size());
+  for (const JsonValue& item : v->items) {
+    out->push_back(item.kind == JsonValue::Kind::kNull
+                       ? std::numeric_limits<double>::quiet_NaN()
+                       : item.number);
+  }
+}
+
+bool StatusFromName(const std::string& name, RunStatus* out) {
+  for (const RunStatus s :
+       {RunStatus::kOk, RunStatus::kFailed, RunStatus::kTimeout,
+        RunStatus::kCrashed, RunStatus::kQuarantined}) {
+    if (name == RunStatusName(s)) {
+      *out = s;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+std::string EncodeRunRecord(const RunRecord& r) {
+  std::ostringstream os;
+  os << "{\"sweep\":\"" << JsonEscape(r.sweep) << "\",\"run\":" << r.index
+     << ",\"axes\":{";
+  for (size_t i = 0; i < r.points.size(); ++i) {
+    os << (i == 0 ? "" : ",") << "\"" << JsonEscape(r.points[i].axis) << "\":\""
+       << JsonEscape(r.points[i].value) << "\"";
+  }
+  os << "},\"replication\":" << r.replication << ",\"seed\":" << r.seed
+     << ",\"status\":\"" << RunStatusName(r.status)
+     << "\",\"attempts\":" << r.attempts << ",\"error\":\""
+     << JsonEscape(r.error) << "\",\"wall_ms\":" << JsonNum(r.wall_ms)
+     << ",\"events_per_sec\":" << JsonNum(r.events_per_sec) << ",\"result\":{";
+
+  const ScenarioResult& s = r.result;
+  os << "\"qct99_ms\":" << JsonNum(s.qct99_ms)
+     << ",\"bg_fct99_ms\":" << JsonNum(s.bg_fct99_ms)
+     << ",\"bg_fct99_all_ms\":" << JsonNum(s.bg_fct99_all_ms) << ",\"qct\":";
+  WriteSummary(os, s.qct);
+  os << ",\"bg_fct_short\":";
+  WriteSummary(os, s.bg_fct_short);
+  os << ",\"queries_completed\":" << s.queries_completed
+     << ",\"queries_launched\":" << s.queries_launched
+     << ",\"flows_completed\":" << s.flows_completed
+     << ",\"flows_started\":" << s.flows_started << ",\"drops\":" << s.drops
+     << ",\"ttl_drops\":" << s.ttl_drops << ",\"drops_by_reason\":";
+  WriteDropsByReason(os, s.drops_by_reason);
+  os << ",\"fault_drops\":" << s.fault_drops
+     << ",\"fault_events_applied\":" << s.fault_events_applied
+     << ",\"fault_flows_stalled\":" << s.fault_flows_stalled
+     << ",\"fault_flows_recovered\":" << s.fault_flows_recovered
+     << ",\"fault_recovery_ms_max\":" << JsonNum(s.fault_recovery_ms_max)
+     << ",\"detours\":" << s.detours
+     << ",\"delivered_packets\":" << s.delivered_packets
+     << ",\"detoured_fraction\":" << JsonNum(s.detoured_fraction)
+     << ",\"query_detour_share\":" << JsonNum(s.query_detour_share)
+     << ",\"detour_count_p99\":" << JsonNum(s.detour_count_p99)
+     << ",\"retransmits\":" << s.retransmits << ",\"timeouts\":" << s.timeouts
+     << ",\"hot_fractions\":";
+  WriteDoubleArray(os, s.hot_fractions);
+  os << ",\"relative_hot_fractions\":";
+  WriteDoubleArray(os, s.relative_hot_fractions);
+  os << ",\"one_hop_free\":";
+  WriteDoubleArray(os, s.one_hop_free);
+  os << ",\"two_hop_free\":";
+  WriteDoubleArray(os, s.two_hop_free);
+  os << ",\"events_processed\":" << s.events_processed << "}}";
+  return os.str();
+}
+
+bool DecodeRunRecord(const std::string& line, RunRecord* record,
+                     std::string* error) {
+  JsonValue root;
+  if (!JsonParser(line).Parse(&root, error)) {
+    return false;
+  }
+  if (root.kind != JsonValue::Kind::kObject) {
+    if (error != nullptr) {
+      *error = "record is not a JSON object";
+    }
+    return false;
+  }
+
+  RunRecord r;
+  GetInt(root, "run", &r.index);
+  GetString(root, "sweep", &r.sweep);
+  GetInt(root, "replication", &r.replication);
+  GetUint(root, "seed", &r.seed);
+  GetInt(root, "attempts", &r.attempts);
+  GetString(root, "error", &r.error);
+  GetDouble(root, "wall_ms", &r.wall_ms);
+  GetDouble(root, "events_per_sec", &r.events_per_sec);
+
+  std::string status_name = RunStatusName(RunStatus::kOk);
+  GetString(root, "status", &status_name);
+  if (!StatusFromName(status_name, &r.status)) {
+    if (error != nullptr) {
+      *error = "unknown status '" + status_name + "'";
+    }
+    return false;
+  }
+
+  // The encoder writes axes as an object; key order in the line is the
+  // matrix axis order, but JsonValue stores objects as a sorted map. Re-scan
+  // the raw axes object textually so RunRecord::points preserves axis order
+  // (FindRecord and CSV folding depend on it).
+  if (const JsonValue* axes = Find(root, "axes");
+      axes != nullptr && axes->kind == JsonValue::Kind::kObject &&
+      !axes->fields.empty()) {
+    const size_t open = line.find("\"axes\":{");
+    if (open != std::string::npos) {
+      size_t pos = open + 8;
+      while (pos < line.size() && line[pos] != '}') {
+        const size_t key_start = line.find('"', pos);
+        const size_t key_end = line.find('"', key_start + 1);
+        const size_t val_start = line.find('"', key_end + 1);
+        const size_t val_end = line.find('"', val_start + 1);
+        if (key_end == std::string::npos || val_end == std::string::npos) {
+          break;
+        }
+        const std::string key = line.substr(key_start + 1, key_end - key_start - 1);
+        const auto it = axes->fields.find(key);
+        if (it != axes->fields.end()) {
+          r.points.push_back({key, it->second.text});
+        }
+        pos = val_end + 1;
+      }
+    }
+    // Fallback (hand-written input with escaped axis names): sorted order.
+    if (r.points.size() != axes->fields.size()) {
+      r.points.clear();
+      for (const auto& [key, value] : axes->fields) {
+        r.points.push_back({key, value.text});
+      }
+    }
+  }
+
+  const JsonValue* res = Find(root, "result");
+  if (res != nullptr && res->kind == JsonValue::Kind::kObject) {
+    ScenarioResult& s = r.result;
+    GetDouble(*res, "qct99_ms", &s.qct99_ms);
+    GetDouble(*res, "bg_fct99_ms", &s.bg_fct99_ms);
+    GetDouble(*res, "bg_fct99_all_ms", &s.bg_fct99_all_ms);
+    GetSummary(*res, "qct", &s.qct);
+    GetSummary(*res, "bg_fct_short", &s.bg_fct_short);
+    GetUint(*res, "queries_completed", &s.queries_completed);
+    GetUint(*res, "queries_launched", &s.queries_launched);
+    GetUint(*res, "flows_completed", &s.flows_completed);
+    GetUint(*res, "flows_started", &s.flows_started);
+    GetUint(*res, "drops", &s.drops);
+    GetUint(*res, "ttl_drops", &s.ttl_drops);
+    if (const JsonValue* by = Find(*res, "drops_by_reason");
+        by != nullptr && by->kind == JsonValue::Kind::kObject) {
+      s.drops_by_reason.assign(kNumDropReasons, 0);
+      for (size_t i = 0; i < kNumDropReasons; ++i) {
+        GetUint(*by, DropReasonName(static_cast<DropReason>(i)),
+                &s.drops_by_reason[i]);
+      }
+    }
+    GetUint(*res, "fault_drops", &s.fault_drops);
+    GetUint(*res, "fault_events_applied", &s.fault_events_applied);
+    GetUint(*res, "fault_flows_stalled", &s.fault_flows_stalled);
+    GetUint(*res, "fault_flows_recovered", &s.fault_flows_recovered);
+    GetDouble(*res, "fault_recovery_ms_max", &s.fault_recovery_ms_max);
+    GetUint(*res, "detours", &s.detours);
+    GetUint(*res, "delivered_packets", &s.delivered_packets);
+    GetDouble(*res, "detoured_fraction", &s.detoured_fraction);
+    GetDouble(*res, "query_detour_share", &s.query_detour_share);
+    GetDouble(*res, "detour_count_p99", &s.detour_count_p99);
+    GetUint(*res, "retransmits", &s.retransmits);
+    GetUint(*res, "timeouts", &s.timeouts);
+    GetDoubleArray(*res, "hot_fractions", &s.hot_fractions);
+    GetDoubleArray(*res, "relative_hot_fractions", &s.relative_hot_fractions);
+    GetDoubleArray(*res, "one_hop_free", &s.one_hop_free);
+    GetDoubleArray(*res, "two_hop_free", &s.two_hop_free);
+    GetUint(*res, "events_processed", &s.events_processed);
+  }
+
+  *record = std::move(r);
+  return true;
+}
+
+}  // namespace dibs

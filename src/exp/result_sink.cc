@@ -4,67 +4,10 @@
 #include <limits>
 #include <sstream>
 
+#include "src/exp/record_codec.h"
+
 namespace dibs {
 namespace {
-
-std::string JsonEscape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size() + 2);
-  for (char c : s) {
-    switch (c) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      case '\r':
-        out += "\\r";
-        break;
-      case '\t':
-        out += "\\t";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
-
-// Round-trip double formatting; JSON has no NaN/inf, so map those to null.
-std::string JsonNum(double v) {
-  if (!std::isfinite(v)) {
-    return "null";
-  }
-  std::ostringstream os;
-  os.precision(std::numeric_limits<double>::max_digits10);
-  os << v;
-  return os.str();
-}
-
-void WriteSummary(std::ostream& os, const Summary& s) {
-  os << "{\"count\":" << s.count << ",\"mean\":" << JsonNum(s.mean)
-     << ",\"min\":" << JsonNum(s.min) << ",\"max\":" << JsonNum(s.max)
-     << ",\"p50\":" << JsonNum(s.p50) << ",\"p90\":" << JsonNum(s.p90)
-     << ",\"p99\":" << JsonNum(s.p99) << ",\"p999\":" << JsonNum(s.p999) << "}";
-}
-
-void WriteDoubleArray(std::ostream& os, const std::vector<double>& v) {
-  os << "[";
-  for (size_t i = 0; i < v.size(); ++i) {
-    os << (i == 0 ? "" : ",") << JsonNum(v[i]);
-  }
-  os << "]";
-}
 
 std::string CsvEscape(const std::string& s) {
   if (s.find_first_of(",\"\n") == std::string::npos) {
@@ -102,18 +45,6 @@ std::string CsvNum(double v) {
   return os.str();
 }
 
-// {"queue-overflow":12,...} keyed by DropReasonName, every reason present so
-// consumers never have to guess which keys exist.
-void WriteDropsByReason(std::ostream& os, const std::vector<uint64_t>& by_reason) {
-  os << "{";
-  for (size_t i = 0; i < kNumDropReasons; ++i) {
-    const uint64_t count = i < by_reason.size() ? by_reason[i] : 0;
-    os << (i == 0 ? "" : ",") << "\"" << DropReasonName(static_cast<DropReason>(i))
-       << "\":" << count;
-  }
-  os << "}";
-}
-
 // CSV folding mirrors FoldAxes: "queue-overflow=12;ttl-expired=3;...".
 std::string FoldDropsByReason(const std::vector<uint64_t>& by_reason) {
   std::string out;
@@ -131,55 +62,15 @@ std::string FoldDropsByReason(const std::vector<uint64_t>& by_reason) {
 }  // namespace
 
 void JsonlSink::OnRecord(const RunRecord& r) {
-  os_ << "{\"sweep\":\"" << JsonEscape(r.sweep) << "\",\"run\":" << r.index
-      << ",\"axes\":{";
-  for (size_t i = 0; i < r.points.size(); ++i) {
-    os_ << (i == 0 ? "" : ",") << "\"" << JsonEscape(r.points[i].axis) << "\":\""
-        << JsonEscape(r.points[i].value) << "\"";
-  }
-  os_ << "},\"replication\":" << r.replication << ",\"seed\":" << r.seed
-      << ",\"status\":\"" << RunStatusName(r.status) << "\",\"error\":\""
-      << JsonEscape(r.error) << "\",\"wall_ms\":" << JsonNum(r.wall_ms)
-      << ",\"events_per_sec\":" << JsonNum(r.events_per_sec) << ",\"result\":{";
-
-  const ScenarioResult& s = r.result;
-  os_ << "\"qct99_ms\":" << JsonNum(s.qct99_ms)
-      << ",\"bg_fct99_ms\":" << JsonNum(s.bg_fct99_ms)
-      << ",\"bg_fct99_all_ms\":" << JsonNum(s.bg_fct99_all_ms) << ",\"qct\":";
-  WriteSummary(os_, s.qct);
-  os_ << ",\"bg_fct_short\":";
-  WriteSummary(os_, s.bg_fct_short);
-  os_ << ",\"queries_completed\":" << s.queries_completed
-      << ",\"queries_launched\":" << s.queries_launched
-      << ",\"flows_completed\":" << s.flows_completed
-      << ",\"flows_started\":" << s.flows_started << ",\"drops\":" << s.drops
-      << ",\"ttl_drops\":" << s.ttl_drops << ",\"drops_by_reason\":";
-  WriteDropsByReason(os_, s.drops_by_reason);
-  os_ << ",\"fault_drops\":" << s.fault_drops
-      << ",\"fault_events_applied\":" << s.fault_events_applied
-      << ",\"fault_flows_stalled\":" << s.fault_flows_stalled
-      << ",\"fault_flows_recovered\":" << s.fault_flows_recovered
-      << ",\"fault_recovery_ms_max\":" << JsonNum(s.fault_recovery_ms_max)
-      << ",\"detours\":" << s.detours
-      << ",\"delivered_packets\":" << s.delivered_packets
-      << ",\"detoured_fraction\":" << JsonNum(s.detoured_fraction)
-      << ",\"query_detour_share\":" << JsonNum(s.query_detour_share)
-      << ",\"detour_count_p99\":" << JsonNum(s.detour_count_p99)
-      << ",\"retransmits\":" << s.retransmits << ",\"timeouts\":" << s.timeouts
-      << ",\"hot_fractions\":";
-  WriteDoubleArray(os_, s.hot_fractions);
-  os_ << ",\"relative_hot_fractions\":";
-  WriteDoubleArray(os_, s.relative_hot_fractions);
-  os_ << ",\"one_hop_free\":";
-  WriteDoubleArray(os_, s.one_hop_free);
-  os_ << ",\"two_hop_free\":";
-  WriteDoubleArray(os_, s.two_hop_free);
-  os_ << ",\"events_processed\":" << s.events_processed << "}}\n";
+  // Flush per record so a killed sweep leaves a complete, parseable prefix
+  // on disk; once write() has the bytes, only power loss can take them back.
+  os_ << EncodeRunRecord(r) << "\n" << std::flush;
 }
 
 void CsvSink::OnRecord(const RunRecord& r) {
   if (!wrote_header_) {
-    os_ << "sweep,run,axes,replication,seed,status,error,wall_ms,events_per_sec,"
+    os_ << "sweep,run,axes,replication,seed,status,attempts,error,wall_ms,"
+           "events_per_sec,"
            "qct99_ms,bg_fct99_ms,bg_fct99_all_ms,qct_count,qct_p50,qct_p90,qct_p999,"
            "queries_completed,queries_launched,flows_completed,flows_started,"
            "drops,ttl_drops,drops_by_reason,fault_drops,fault_events_applied,"
@@ -192,6 +83,7 @@ void CsvSink::OnRecord(const RunRecord& r) {
   const ScenarioResult& s = r.result;
   os_ << CsvEscape(r.sweep) << "," << r.index << "," << CsvEscape(FoldAxes(r)) << ","
       << r.replication << "," << r.seed << "," << RunStatusName(r.status) << ","
+      << r.attempts << ","
       << CsvEscape(r.error) << "," << CsvNum(r.wall_ms) << ","
       << CsvNum(r.events_per_sec) << "," << CsvNum(s.qct99_ms) << ","
       << CsvNum(s.bg_fct99_ms) << "," << CsvNum(s.bg_fct99_all_ms) << ","
@@ -206,6 +98,7 @@ void CsvSink::OnRecord(const RunRecord& r) {
       << s.delivered_packets << "," << CsvNum(s.detoured_fraction) << ","
       << CsvNum(s.query_detour_share) << "," << CsvNum(s.detour_count_p99) << ","
       << s.retransmits << "," << s.timeouts << "," << s.events_processed << "\n";
+  os_.flush();
 }
 
 }  // namespace dibs

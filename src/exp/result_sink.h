@@ -4,10 +4,16 @@
 //
 // JSONL schema (one object per line; see EXPERIMENTS.md "Result schema"):
 //   {"sweep":..., "run":..., "axes":{name:label,...}, "replication":...,
-//    "seed":..., "status":"ok|failed|timeout", "error":..., "wall_ms":...,
-//    "events_per_sec":..., "result":{<every ScenarioResult field>}}
-// CSV carries the same scalar fields flattened; the ScenarioResult vector
-// fields (monitor time series) are JSONL-only.
+//    "seed":..., "status":"ok|failed|timeout|crashed|quarantined",
+//    "attempts":..., "error":..., "wall_ms":..., "events_per_sec":...,
+//    "result":{<every ScenarioResult field>}}
+// (The JSONL line format lives in record_codec.h; the journal and the
+// process-isolation pipe share it.) CSV carries the same scalar fields
+// flattened; the ScenarioResult vector fields (monitor time series) are
+// JSONL-only.
+//
+// Both file sinks flush after every record, so a sweep killed mid-flight
+// always leaves a complete, parseable prefix on disk.
 
 #ifndef SRC_EXP_RESULT_SINK_H_
 #define SRC_EXP_RESULT_SINK_H_
@@ -42,8 +48,9 @@ class MemorySink : public ResultSink {
   std::vector<RunRecord> records_;
 };
 
-// One JSON object per record per line. Doubles are printed with round-trip
-// precision; NaN/inf (possible in percentile math on empty sets) map to null.
+// One JSON object per record per line (record_codec format). Doubles are
+// printed with round-trip precision; NaN/inf (possible in percentile math
+// on empty sets) map to null. Flushes per record.
 class JsonlSink : public ResultSink {
  public:
   explicit JsonlSink(std::ostream& os) : os_(os) {}
@@ -55,7 +62,8 @@ class JsonlSink : public ResultSink {
   std::ostream& os_;
 };
 
-// Flat scalar columns, one header row, RFC-4180-style quoting.
+// Flat scalar columns, one header row, RFC-4180-style quoting. Flushes per
+// record.
 class CsvSink : public ResultSink {
  public:
   explicit CsvSink(std::ostream& os) : os_(os) {}

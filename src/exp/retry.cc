@@ -1,0 +1,67 @@
+#include "src/exp/retry.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace dibs {
+
+RetryPolicy RetryPolicy::Resolved() const {
+  RetryPolicy r = *this;
+  if (r.max_attempts <= 0) {
+    r.max_attempts = 1;
+    if (const char* env = std::getenv("DIBS_MAX_ATTEMPTS"); env != nullptr) {
+      const int parsed = std::atoi(env);
+      if (parsed > 0) {
+        r.max_attempts = parsed;
+      }
+    }
+  }
+  if (r.initial_ms < 0) {
+    r.initial_ms = 200;
+    if (const char* env = std::getenv("DIBS_RETRY_BACKOFF_MS"); env != nullptr) {
+      const double parsed = std::atof(env);
+      if (parsed >= 0) {
+        r.initial_ms = parsed;
+      }
+    }
+  }
+  return r;
+}
+
+bool RetryPolicy::ShouldRetry(RunStatus status, int attempts) const {
+  if (attempts >= max_attempts) {
+    return false;
+  }
+  switch (status) {
+    case RunStatus::kFailed:
+    case RunStatus::kTimeout:
+    case RunStatus::kCrashed:
+      return true;
+    case RunStatus::kOk:
+    case RunStatus::kQuarantined:
+      return false;
+  }
+  return false;
+}
+
+double RetryPolicy::BackoffMs(int next_attempt) const {
+  double ms = initial_ms;
+  for (int k = 2; k < next_attempt; ++k) {
+    ms *= multiplier;
+    if (ms >= max_ms) {
+      break;
+    }
+  }
+  return std::min(ms, max_ms);
+}
+
+void FinalizeAttempts(const RetryPolicy& policy, RunRecord* record) {
+  if (record->status == RunStatus::kOk || policy.max_attempts <= 1) {
+    return;
+  }
+  record->error = std::string(RunStatusName(record->status)) + " after " +
+                  std::to_string(record->attempts) + " attempts: " + record->error;
+  record->status = RunStatus::kQuarantined;
+}
+
+}  // namespace dibs

@@ -1,0 +1,47 @@
+// Retry policy for sweep runs. A failed/timeout/crashed row is re-executed
+// up to max_attempts times with bounded exponential backoff between
+// attempts. Seeds travel with the RunSpec, so a retry is a deterministic
+// re-run: it only helps against *host-side* causes (OOM kills, machine
+// load pushing a run past its wall-clock deadline, transient crashes), not
+// against deterministic simulation bugs — those exhaust their attempts and
+// land in the terminal `quarantined` status.
+
+#ifndef SRC_EXP_RETRY_H_
+#define SRC_EXP_RETRY_H_
+
+#include "src/exp/run_record.h"
+
+namespace dibs {
+
+struct RetryPolicy {
+  // Total attempts per run (first try included). 1 disables retries; 0
+  // resolves from $DIBS_MAX_ATTEMPTS (default 1).
+  int max_attempts = 0;
+
+  // Backoff before retry k (k >= 1): initial * multiplier^(k-1), capped at
+  // `max_ms`. Deterministic — no jitter, by the repo's determinism rules.
+  // initial_ms < 0 resolves from $DIBS_RETRY_BACKOFF_MS (default 200).
+  double initial_ms = -1;
+  double multiplier = 2.0;
+  double max_ms = 10000;
+
+  // Copy with env fallbacks applied (see field comments).
+  RetryPolicy Resolved() const;
+
+  // True when `status` after `attempts` completed attempts warrants another
+  // try. kOk and kQuarantined never retry.
+  bool ShouldRetry(RunStatus status, int attempts) const;
+
+  // Milliseconds to wait before attempt `next_attempt` (2 = first retry).
+  double BackoffMs(int next_attempt) const;
+};
+
+// Final status for a run that exhausted its attempts: with a real retry
+// policy (max_attempts > 1) the row is quarantined and `error` is prefixed
+// with the underlying status and attempt count; with no retry policy the
+// original status/error pass through untouched (PR-1 behavior).
+void FinalizeAttempts(const RetryPolicy& policy, RunRecord* record);
+
+}  // namespace dibs
+
+#endif  // SRC_EXP_RETRY_H_

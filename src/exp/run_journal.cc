@@ -1,0 +1,237 @@
+#include "src/exp/run_journal.h"
+
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+
+#include "src/exp/record_codec.h"
+#include "src/util/logging.h"
+
+namespace dibs {
+namespace {
+
+// FNV-1a (64-bit), the repo's stock choice for stable structural hashes.
+class Fnv1a {
+ public:
+  void MixBytes(const void* data, size_t n) {
+    const unsigned char* p = static_cast<const unsigned char*>(data);
+    for (size_t i = 0; i < n; ++i) {
+      hash_ ^= p[i];
+      hash_ *= 1099511628211ull;
+    }
+  }
+  void Mix(uint64_t v) { MixBytes(&v, sizeof(v)); }
+  void Mix(int64_t v) { MixBytes(&v, sizeof(v)); }
+  void Mix(int v) { Mix(static_cast<int64_t>(v)); }
+  void Mix(bool v) { Mix(static_cast<int64_t>(v ? 1 : 0)); }
+  void Mix(double v) {
+    uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(v));
+    std::memcpy(&bits, &v, sizeof(bits));
+    Mix(bits);
+  }
+  void Mix(const std::string& s) {
+    Mix(static_cast<uint64_t>(s.size()));
+    MixBytes(s.data(), s.size());
+  }
+  void Mix(Time t) { Mix(t.nanos()); }
+
+  uint64_t hash() const { return hash_; }
+
+ private:
+  uint64_t hash_ = 14695981039346656037ull;
+};
+
+std::string HexFingerprint(uint64_t fp) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx", static_cast<unsigned long long>(fp));
+  return buf;
+}
+
+// Pulls "key":"value" out of the (machine-written) header line.
+bool HeaderString(const std::string& line, const std::string& key, std::string* out) {
+  const std::string needle = "\"" + key + "\":\"";
+  const size_t at = line.find(needle);
+  if (at == std::string::npos) {
+    return false;
+  }
+  const size_t start = at + needle.size();
+  const size_t end = line.find('"', start);
+  if (end == std::string::npos) {
+    return false;
+  }
+  *out = line.substr(start, end - start);
+  return true;
+}
+
+}  // namespace
+
+uint64_t DigestConfig(const ExperimentConfig& c) {
+  Fnv1a h;
+  h.Mix(static_cast<int64_t>(c.topology));
+  h.Mix(c.fat_tree_k);
+  h.Mix(c.oversubscription);
+  h.Mix(c.link_rate_bps);
+
+  const NetworkConfig& n = c.net;
+  h.Mix(static_cast<uint64_t>(n.switch_buffer_packets));
+  h.Mix(static_cast<uint64_t>(n.ecn_threshold_packets));
+  h.Mix(n.pfabric_queues);
+  h.Mix(static_cast<uint64_t>(n.pfabric_buffer_packets));
+  h.Mix(n.use_shared_buffer);
+  h.Mix(static_cast<uint64_t>(n.shared_buffer_packets));
+  h.Mix(n.shared_buffer_alpha);
+  h.Mix(static_cast<uint64_t>(n.host_queue_packets));
+  h.Mix(n.detour_policy);
+  h.Mix(static_cast<int64_t>(n.initial_ttl));
+  h.Mix(n.pfc_enabled);
+  h.Mix(static_cast<uint64_t>(n.pfc_xoff_packets));
+  h.Mix(static_cast<uint64_t>(n.pfc_xon_packets));
+  h.Mix(n.packet_level_ecmp);
+  h.Mix(n.trace_packets);
+
+  h.Mix(static_cast<int64_t>(c.transport));
+  const TcpConfig& t = c.tcp;
+  h.Mix(static_cast<uint64_t>(t.init_cwnd_segments));
+  h.Mix(t.min_rto);
+  h.Mix(t.max_rto);
+  h.Mix(static_cast<uint64_t>(t.dupack_threshold));
+  h.Mix(t.ecn_enabled);
+  h.Mix(static_cast<int64_t>(t.cc));
+  h.Mix(t.dctcp_g);
+  h.Mix(static_cast<uint64_t>(t.max_cwnd_segments));
+  h.Mix(static_cast<int64_t>(t.initial_ttl));
+  const PfabricConfig& p = c.pfabric;
+  h.Mix(static_cast<uint64_t>(p.window_segments));
+  h.Mix(p.rto);
+  h.Mix(p.max_rto);
+  h.Mix(static_cast<int64_t>(p.initial_ttl));
+
+  h.Mix(c.enable_background);
+  h.Mix(c.bg_interarrival);
+  h.Mix(c.enable_query);
+  h.Mix(c.qps);
+  h.Mix(c.incast_degree);
+  h.Mix(c.response_bytes);
+  h.Mix(c.duration);
+  h.Mix(c.drain);
+  h.Mix(c.seed);
+
+  h.Mix(static_cast<uint64_t>(c.faults.events().size()));
+  for (const fault::FaultEvent& e : c.faults.events()) {
+    h.Mix(e.at);
+    h.Mix(static_cast<int64_t>(e.kind));
+    h.Mix(e.target);
+    h.Mix(e.loss_probability);
+    h.Mix(e.extra_jitter);
+  }
+
+  h.Mix(c.monitor_links);
+  h.Mix(c.link_interval);
+  h.Mix(c.hot_threshold);
+  h.Mix(c.monitor_buffers);
+  h.Mix(c.buffer_interval);
+  return h.hash();
+}
+
+uint64_t SweepFingerprint(const std::string& sweep_name,
+                          const std::vector<RunSpec>& runs) {
+  Fnv1a h;
+  h.Mix(sweep_name);
+  h.Mix(static_cast<uint64_t>(runs.size()));
+  for (const RunSpec& run : runs) {
+    h.Mix(run.index);
+    h.Mix(run.replication);
+    h.Mix(run.config.seed);
+    h.Mix(static_cast<uint64_t>(run.points.size()));
+    for (const AxisPoint& p : run.points) {
+      h.Mix(p.axis);
+      h.Mix(p.value);
+    }
+    h.Mix(DigestConfig(run.config));
+  }
+  return h.hash();
+}
+
+void RunJournal::Open(const std::string& path, const std::string& sweep_name,
+                      size_t run_count, uint64_t fingerprint, bool resume,
+                      std::map<int, RunRecord>* resumed) {
+  std::lock_guard<std::mutex> lock(mu_);
+  DIBS_CHECK(!out_.is_open()) << "journal already open";
+
+  bool have_existing = false;
+  if (resume) {
+    std::ifstream in(path);
+    std::string line;
+    if (in.is_open() && std::getline(in, line) && !line.empty()) {
+      have_existing = true;
+      std::string marker;
+      std::string file_fp;
+      if (!HeaderString(line, "journal", &marker) || marker != "dibs-sweep" ||
+          !HeaderString(line, "fingerprint", &file_fp)) {
+        throw std::runtime_error("journal '" + path +
+                                 "' has no valid dibs-sweep header; refusing to resume");
+      }
+      if (file_fp != HexFingerprint(fingerprint)) {
+        std::string file_sweep = "?";
+        HeaderString(line, "sweep", &file_sweep);
+        throw std::runtime_error(
+            "journal '" + path + "' fingerprint " + file_fp + " (sweep '" +
+            file_sweep + "') does not match this sweep's fingerprint " +
+            HexFingerprint(fingerprint) +
+            "; refusing to resume a different run matrix");
+      }
+      size_t line_no = 1;
+      bool reached_eof = false;
+      while (!reached_eof) {
+        if (!std::getline(in, line)) {
+          break;
+        }
+        ++line_no;
+        reached_eof = in.eof();  // no trailing '\n': possibly a torn write
+        if (line.empty()) {
+          continue;
+        }
+        RunRecord rec;
+        std::string error;
+        if (!DecodeRunRecord(line, &rec, &error)) {
+          if (reached_eof) {
+            break;  // torn final write from a hard kill — expected, drop it
+          }
+          DIBS_LOG(kWarning) << "journal '" << path << "' line " << line_no
+                             << " unreadable (" << error << "); skipping";
+          continue;
+        }
+        if (resumed != nullptr) {
+          (*resumed)[rec.index] = std::move(rec);  // last record per index wins
+        }
+      }
+    }
+  }
+
+  out_.open(path, have_existing ? std::ios::app : std::ios::trunc);
+  DIBS_CHECK(out_.is_open()) << "cannot open journal '" << path << "'";
+  if (!have_existing) {
+    out_ << "{\"journal\":\"dibs-sweep\",\"version\":1,\"sweep\":\"" << sweep_name
+         << "\",\"runs\":" << run_count << ",\"fingerprint\":\""
+         << HexFingerprint(fingerprint) << "\"}\n"
+         << std::flush;
+  }
+}
+
+void RunJournal::Append(const RunRecord& record) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!out_.is_open()) {
+    return;
+  }
+  out_ << EncodeRunRecord(record) << "\n" << std::flush;
+}
+
+void RunJournal::Close() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (out_.is_open()) {
+    out_.close();
+  }
+}
+
+}  // namespace dibs

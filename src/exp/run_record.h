@@ -18,7 +18,14 @@ namespace dibs {
 enum class RunStatus : uint8_t {
   kOk = 0,
   kFailed = 1,   // the run threw; RunRecord::error holds what()
-  kTimeout = 2,  // the run hit its wall-clock deadline or event budget
+  kTimeout = 2,  // wall-clock deadline / event budget / hard watchdog kill
+  // Only reachable with process isolation (DIBS_ISOLATE=process): the child
+  // died by signal or exited without reporting a record. Without isolation
+  // the same defect takes down the whole sweep process.
+  kCrashed = 3,
+  // Terminal: the run stayed failed/timeout/crashed through every retry
+  // attempt allowed by the retry policy (max_attempts > 1).
+  kQuarantined = 4,
 };
 
 const char* RunStatusName(RunStatus status);
@@ -51,6 +58,10 @@ struct RunRecord {
 
   RunStatus status = RunStatus::kOk;
   std::string error;
+  // Execution attempts consumed (1 = first try succeeded or no retry
+  // policy). Retries re-run the same RunSpec with the same seed, so a
+  // successful retry is byte-identical to a first-try success except here.
+  int attempts = 1;
 
   double wall_ms = 0;        // host wall-clock time for this run
   double events_per_sec = 0; // simulator events per wall-clock second
@@ -59,6 +70,26 @@ struct RunRecord {
 
   // First matching axis value, or `fallback` when the axis is absent.
   std::string PointValue(const std::string& axis, const std::string& fallback = "") const;
+};
+
+// Aggregate outcome of a sweep: what the progress meter prints, what
+// DIBS_STRICT gates bench exit codes on, and what graceful-degradation
+// table rendering consults.
+struct SweepSummary {
+  size_t total = 0;
+  size_t ok = 0;
+  size_t failed = 0;
+  size_t timeout = 0;
+  size_t crashed = 0;
+  size_t quarantined = 0;
+  size_t retried = 0;   // rows that consumed more than one attempt
+  size_t resumed = 0;   // rows replayed from a journal instead of executed
+
+  size_t done() const { return ok + failed + timeout + crashed + quarantined; }
+  bool AllOk() const { return ok == total; }
+
+  // Adds `record` to the status tallies (attempts feed `retried`).
+  void Count(const RunRecord& record);
 };
 
 }  // namespace dibs

@@ -12,8 +12,35 @@ const char* RunStatusName(RunStatus status) {
       return "failed";
     case RunStatus::kTimeout:
       return "timeout";
+    case RunStatus::kCrashed:
+      return "crashed";
+    case RunStatus::kQuarantined:
+      return "quarantined";
   }
   return "?";
+}
+
+void SweepSummary::Count(const RunRecord& record) {
+  switch (record.status) {
+    case RunStatus::kOk:
+      ++ok;
+      break;
+    case RunStatus::kFailed:
+      ++failed;
+      break;
+    case RunStatus::kTimeout:
+      ++timeout;
+      break;
+    case RunStatus::kCrashed:
+      ++crashed;
+      break;
+    case RunStatus::kQuarantined:
+      ++quarantined;
+      break;
+  }
+  if (record.attempts > 1) {
+    ++retried;
+  }
 }
 
 std::string RunRecord::PointValue(const std::string& axis,

@@ -73,6 +73,13 @@ struct ExperimentConfig {
   Time buffer_interval = Time::Millis(1);
 
   std::string label;  // free-form tag printed by the harness
+
+  // Position of this run in its sweep matrix (-1 outside a sweep). Set by
+  // the sweep engine; excluded from the journal's config digest. Exists so
+  // the env-gated fault-injection test hooks (DIBS_TEST_CRASH_RUN /
+  // DIBS_TEST_HANG_RUN, see Scenario::Run) can target one run
+  // deterministically.
+  int sweep_run_index = -1;
 };
 
 // --- Scheme presets (the lines compared throughout §5) ---

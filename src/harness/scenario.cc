@@ -1,11 +1,45 @@
 #include "src/harness/scenario.h"
 
+#include <signal.h>
+#include <unistd.h>
+
+#include <cstdlib>
 #include <utility>
 
 #include "src/device/invariant_checker.h"
 #include "src/util/logging.h"
 
 namespace dibs {
+
+namespace {
+
+// Deterministic, test-only failure injection for the sweep engine's crash
+// containment and hard watchdog (src/exp/process_runner). Env-gated so
+// tests and CI can exercise the crashed/watchdog paths without flaky
+// timing: when DIBS_TEST_CRASH_RUN (resp. DIBS_TEST_HANG_RUN) names this
+// run's sweep matrix index, the run dies by a real SIGSEGV (resp. wedges
+// outside the simulator event loop, where the cooperative interrupt check
+// can never fire). Never set in production sweeps.
+void MaybeInjectTestFailure(int sweep_run_index) {
+  if (sweep_run_index < 0) {
+    return;
+  }
+  if (const char* env = std::getenv("DIBS_TEST_CRASH_RUN");
+      env != nullptr && std::atoi(env) == sweep_run_index) {
+    // Restore the default disposition first so the process dies by the
+    // signal even under ASan (which installs its own SEGV reporter).
+    ::signal(SIGSEGV, SIG_DFL);
+    ::raise(SIGSEGV);
+  }
+  if (const char* env = std::getenv("DIBS_TEST_HANG_RUN");
+      env != nullptr && std::atoi(env) == sweep_run_index) {
+    while (true) {
+      ::sleep(1);  // only a hard watchdog (SIGKILL) gets a run out of here
+    }
+  }
+}
+
+}  // namespace
 
 Scenario::Scenario(const ExperimentConfig& config) : config_(config) {
   sim_ = std::make_unique<Simulator>(config_.seed);
@@ -97,6 +131,7 @@ Topology Scenario::BuildTopology() const {
 }
 
 ScenarioResult Scenario::Run() {
+  MaybeInjectTestFailure(config_.sweep_run_index);
   if (fault_injector_ != nullptr) {
     fault_injector_->Start();
   }

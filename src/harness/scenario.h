@@ -75,6 +75,9 @@ class Scenario {
   Scenario& operator=(const Scenario&) = delete;
 
   // Runs to completion (duration + drain) and returns the metrics.
+  // Test-only: when $DIBS_TEST_CRASH_RUN / $DIBS_TEST_HANG_RUN name this
+  // run's config.sweep_run_index, Run() segfaults / hangs instead —
+  // deterministic fodder for the sweep engine's crash-containment tests.
   ScenarioResult Run();
 
   Simulator& sim() { return *sim_; }

@@ -68,7 +68,10 @@ class Simulator {
   void SetEventBudget(uint64_t max_events) { event_budget_ = max_events; }
 
   // `check` is polled every `check_every` events; returning true interrupts
-  // the run. The sweep engine installs a wall-clock deadline here.
+  // the run. The sweep engine installs a wall-clock deadline here; it is the
+  // *cooperative* half of that engine's timeout story — a run wedged outside
+  // the event loop never reaches the poll, which is what the process-mode
+  // hard watchdog (src/exp/process_runner.h) exists for.
   void SetInterruptCheck(std::function<bool()> check, uint64_t check_every = 4096);
 
   // True once a budget or interrupt check has fired. Sticky: later Run*()

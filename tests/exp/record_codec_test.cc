@@ -1,0 +1,150 @@
+// RunRecord codec contract: Encode/Decode round-trip exactly (including
+// axis order, special characters, NaN/inf -> null, and full-range uint64
+// values) — the property the journal and the process-isolation pipe both
+// stand on.
+
+#include "src/exp/record_codec.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace dibs {
+namespace {
+
+RunRecord FullRecord() {
+  RunRecord r;
+  r.index = 42;
+  r.sweep = "fig11";
+  r.points = {{"scheme", "dibs"}, {"degree", "100"}};
+  r.replication = 3;
+  r.seed = std::numeric_limits<uint64_t>::max();
+  r.status = RunStatus::kOk;
+  r.attempts = 2;
+  r.wall_ms = 123.456789012345;
+  r.events_per_sec = 2.5e6;
+  r.result.qct99_ms = 17.25;
+  r.result.bg_fct99_ms = 3.125;
+  r.result.bg_fct99_all_ms = 4.0625;
+  r.result.qct.count = 130;
+  r.result.qct.mean = 9.5;
+  r.result.qct.p50 = 8.25;
+  r.result.qct.p99 = 17.25;
+  r.result.qct.max = 21.0;
+  r.result.bg_fct_short.count = 77;
+  r.result.queries_completed = 130;
+  r.result.queries_launched = 131;
+  r.result.flows_completed = 5200;
+  r.result.flows_started = 5210;
+  r.result.drops = 7;
+  r.result.ttl_drops = 2;
+  r.result.drops_by_reason = {3, 0, 2, 0, 1, 0, 0, 1};
+  r.result.fault_drops = 4;
+  r.result.fault_events_applied = 6;
+  r.result.fault_flows_stalled = 1;
+  r.result.fault_flows_recovered = 9;
+  r.result.fault_recovery_ms_max = 12.75;
+  r.result.detours = 12345;
+  r.result.delivered_packets = 197531;
+  r.result.detoured_fraction = 0.0625;
+  r.result.query_detour_share = 0.875;
+  r.result.detour_count_p99 = 40;
+  r.result.retransmits = 17;
+  r.result.timeouts = 5;
+  r.result.hot_fractions = {0.5, 0.25};
+  r.result.relative_hot_fractions = {0.75};
+  r.result.one_hop_free = {0.125, 0.0009765625};
+  r.result.two_hop_free = {1.0};
+  r.result.events_processed = 1000000;
+  return r;
+}
+
+TEST(RecordCodecTest, EncodeDecodeRoundTripsEveryField) {
+  const RunRecord original = FullRecord();
+  const std::string line = EncodeRunRecord(original);
+
+  RunRecord decoded;
+  std::string error;
+  ASSERT_TRUE(DecodeRunRecord(line, &decoded, &error)) << error;
+
+  EXPECT_EQ(decoded.index, original.index);
+  EXPECT_EQ(decoded.sweep, original.sweep);
+  EXPECT_EQ(decoded.points, original.points);  // axis ORDER preserved too
+  EXPECT_EQ(decoded.replication, original.replication);
+  EXPECT_EQ(decoded.seed, original.seed);
+  EXPECT_EQ(decoded.status, original.status);
+  EXPECT_EQ(decoded.attempts, original.attempts);
+  EXPECT_DOUBLE_EQ(decoded.wall_ms, original.wall_ms);
+  EXPECT_DOUBLE_EQ(decoded.result.qct99_ms, original.result.qct99_ms);
+  EXPECT_EQ(decoded.result.qct.count, original.result.qct.count);
+  EXPECT_DOUBLE_EQ(decoded.result.qct.p99, original.result.qct.p99);
+  EXPECT_EQ(decoded.result.drops_by_reason, original.result.drops_by_reason);
+  EXPECT_EQ(decoded.result.hot_fractions, original.result.hot_fractions);
+  EXPECT_EQ(decoded.result.one_hop_free, original.result.one_hop_free);
+  EXPECT_EQ(decoded.result.events_processed, original.result.events_processed);
+
+  // The byte-identity property everything else relies on.
+  EXPECT_EQ(EncodeRunRecord(decoded), line);
+}
+
+TEST(RecordCodecTest, RoundTripsEveryStatusAndEscapedError) {
+  for (RunStatus status : {RunStatus::kOk, RunStatus::kFailed, RunStatus::kTimeout,
+                           RunStatus::kCrashed, RunStatus::kQuarantined}) {
+    RunRecord r = FullRecord();
+    r.status = status;
+    r.error = "line1\nsaid \"boom\"\\path\ttab";
+    const std::string line = EncodeRunRecord(r);
+    RunRecord decoded;
+    ASSERT_TRUE(DecodeRunRecord(line, &decoded));
+    EXPECT_EQ(decoded.status, status);
+    EXPECT_EQ(decoded.error, r.error);
+    EXPECT_EQ(EncodeRunRecord(decoded), line);
+  }
+}
+
+TEST(RecordCodecTest, NonFiniteDoublesRoundTripThroughNull) {
+  RunRecord r = FullRecord();
+  r.result.qct99_ms = std::numeric_limits<double>::quiet_NaN();
+  r.result.bg_fct99_ms = std::numeric_limits<double>::infinity();
+  const std::string line = EncodeRunRecord(r);
+  EXPECT_NE(line.find("\"qct99_ms\":null"), std::string::npos);
+
+  RunRecord decoded;
+  ASSERT_TRUE(DecodeRunRecord(line, &decoded));
+  EXPECT_TRUE(std::isnan(decoded.result.qct99_ms));
+  EXPECT_TRUE(std::isnan(decoded.result.bg_fct99_ms));  // null loses inf-ness
+  // Stable from the second generation on: null encodes as null again.
+  EXPECT_EQ(EncodeRunRecord(decoded), line);
+}
+
+TEST(RecordCodecTest, AxisValuesWithSpecialCharactersSurvive) {
+  RunRecord r = FullRecord();
+  r.points = {{"fault", "uplink-flap"}, {"label", "a \"b\" \\ c"}};
+  RunRecord decoded;
+  ASSERT_TRUE(DecodeRunRecord(EncodeRunRecord(r), &decoded));
+  EXPECT_EQ(decoded.points, r.points);
+}
+
+TEST(RecordCodecTest, RejectsMalformedLines) {
+  RunRecord scratch;
+  std::string error;
+  EXPECT_FALSE(DecodeRunRecord("", &scratch, &error));
+  EXPECT_FALSE(DecodeRunRecord("not json", &scratch, &error));
+  EXPECT_FALSE(error.empty());
+  // Torn write: a truncated prefix of a real line must not decode.
+  const std::string line = EncodeRunRecord(FullRecord());
+  EXPECT_FALSE(DecodeRunRecord(line.substr(0, line.size() / 2), &scratch));
+}
+
+TEST(RecordCodecTest, IgnoresUnknownKeys) {
+  std::string line = EncodeRunRecord(FullRecord());
+  line.insert(1, "\"future_field\":[1,{\"x\":true}],");
+  RunRecord decoded;
+  std::string error;
+  ASSERT_TRUE(DecodeRunRecord(line, &decoded, &error)) << error;
+  EXPECT_EQ(decoded.sweep, "fig11");
+}
+
+}  // namespace
+}  // namespace dibs

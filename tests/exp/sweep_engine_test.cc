@@ -1,14 +1,23 @@
 // Sweep engine contract tests: expansion order and derived seeds, result
 // determinism under parallelism (the acceptance bar for converting the
-// figure benches), ordered sink delivery, and the failure-isolation paths
-// (exception capture, event budget, wall-clock deadline).
+// figure benches), ordered sink delivery, the failure-isolation paths
+// (exception capture, event budget, wall-clock deadline), retry-with-
+// backoff, and journal-backed resume (byte-identical sink output across a
+// kill/resume boundary at any DIBS_JOBS).
 
 #include "src/exp/sweep_engine.h"
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
+#include <atomic>
 #include <chrono>
+#include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <regex>
+#include <sstream>
 #include <stdexcept>
 #include <thread>
 
@@ -188,6 +197,211 @@ TEST(SweepEngineTest, WallClockDeadlineMarksRowTimeout) {
   const std::vector<RunRecord> records = SweepEngine(opts).Run(spec);
   ASSERT_EQ(records.size(), 1u);
   EXPECT_EQ(records[0].status, RunStatus::kTimeout);
+}
+
+TEST(SweepEngineTest, RetryRecoversTransientFailuresWithSeedPreserved) {
+  auto failures_left = std::make_shared<std::atomic<int>>(2);
+  std::vector<RunSpec> runs(1);
+  runs[0].config.seed = 99;
+  runs[0].runner = [failures_left](const ExperimentConfig& c) -> ScenarioResult {
+    EXPECT_EQ(c.seed, 99u);  // retries re-run the same spec, same seed
+    if (failures_left->fetch_add(-1) > 0) {
+      throw std::runtime_error("transient");
+    }
+    ScenarioResult r;
+    r.queries_completed = 9;
+    return r;
+  };
+  SweepOptions opts;
+  opts.jobs = 1;
+  opts.progress = false;
+  opts.retry.max_attempts = 3;
+  opts.retry.initial_ms = 1;
+  SweepEngine engine(opts);
+  const std::vector<RunRecord> records = engine.RunAll("flaky", std::move(runs));
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].status, RunStatus::kOk);
+  EXPECT_EQ(records[0].attempts, 3);
+  EXPECT_EQ(records[0].result.queries_completed, 9u);
+  EXPECT_EQ(engine.summary().retried, 1u);
+  EXPECT_EQ(engine.summary().ok, 1u);
+}
+
+TEST(SweepEngineTest, ExhaustedRetriesQuarantineTheRow) {
+  std::vector<RunSpec> runs(2);
+  runs[0].runner = [](const ExperimentConfig&) -> ScenarioResult {
+    throw std::runtime_error("deterministic bug");
+  };
+  runs[1].runner = [](const ExperimentConfig&) { return ScenarioResult{}; };
+  SweepOptions opts;
+  opts.jobs = 2;
+  opts.progress = false;
+  opts.retry.max_attempts = 2;
+  opts.retry.initial_ms = 1;
+  SweepEngine engine(opts);
+  const std::vector<RunRecord> records = engine.RunAll("doomed", std::move(runs));
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].status, RunStatus::kQuarantined);
+  EXPECT_EQ(records[0].attempts, 2);
+  EXPECT_EQ(records[0].error, "failed after 2 attempts: deterministic bug");
+  EXPECT_EQ(records[1].status, RunStatus::kOk);
+  EXPECT_EQ(engine.summary().quarantined, 1u);
+}
+
+TEST(RetryPolicyTest, BackoffGrowsExponentiallyAndCaps) {
+  RetryPolicy policy;
+  policy.max_attempts = 5;
+  policy.initial_ms = 100;
+  policy.multiplier = 2.0;
+  policy.max_ms = 350;
+  EXPECT_DOUBLE_EQ(policy.BackoffMs(2), 100);  // first retry
+  EXPECT_DOUBLE_EQ(policy.BackoffMs(3), 200);
+  EXPECT_DOUBLE_EQ(policy.BackoffMs(4), 350);  // capped
+  EXPECT_TRUE(policy.ShouldRetry(RunStatus::kTimeout, 1));
+  EXPECT_TRUE(policy.ShouldRetry(RunStatus::kCrashed, 4));
+  EXPECT_FALSE(policy.ShouldRetry(RunStatus::kCrashed, 5));
+  EXPECT_FALSE(policy.ShouldRetry(RunStatus::kOk, 1));
+  EXPECT_FALSE(policy.ShouldRetry(RunStatus::kQuarantined, 1));
+}
+
+// --- Journal-backed resume ---
+
+std::string JournalPath(const std::string& stem) {
+  return ::testing::TempDir() + "dibs_engine_" + stem + "_" +
+         std::to_string(::getpid()) + ".jsonl";
+}
+
+struct SweepCapture {
+  std::vector<RunRecord> records;
+  SweepSummary summary;
+  std::string jsonl;
+  std::string csv;
+};
+
+SweepCapture RunJournaled(const SweepSpec& spec, const std::string& journal,
+                          int jobs, bool resume) {
+  std::ostringstream jsonl_os;
+  std::ostringstream csv_os;
+  JsonlSink jsonl(jsonl_os);
+  CsvSink csv(csv_os);
+  MultiSink multi({&jsonl, &csv});
+  SweepOptions opts;
+  opts.jobs = jobs;
+  opts.progress = false;
+  opts.journal_path = journal;
+  opts.resume = resume ? 1 : 0;
+  SweepEngine engine(opts);
+  SweepCapture cap;
+  cap.records = engine.Run(spec, &multi);
+  cap.summary = engine.summary();
+  cap.jsonl = jsonl_os.str();
+  cap.csv = csv_os.str();
+  return cap;
+}
+
+// Leaves the journal exactly as a kill -9 after `keep` finished runs would:
+// the header plus the first `keep` complete record lines.
+void TruncateJournal(const std::string& path, size_t keep) {
+  std::ifstream in(path);
+  std::string line;
+  std::vector<std::string> lines;
+  while (std::getline(in, line)) {
+    lines.push_back(line);
+  }
+  in.close();
+  ASSERT_GT(lines.size(), keep + 1);
+  std::ofstream out(path, std::ios::trunc);
+  for (size_t i = 0; i < keep + 1; ++i) {
+    out << lines[i] << "\n";
+  }
+}
+
+// Zeroes the two host-side fields (wall_ms, events_per_sec) that
+// legitimately differ between executions of the same run.
+std::string NormalizeJsonl(const std::string& text) {
+  static const std::regex kWall("\"wall_ms\":[^,]+,\"events_per_sec\":[^,]+,");
+  return std::regex_replace(text, kWall, "\"wall_ms\":0,\"events_per_sec\":0,");
+}
+
+std::string NormalizeCsv(const std::string& text) {
+  // Columns 8 and 9 are wall_ms and events_per_sec; every row in these
+  // tests is `ok` with an empty error, so no field contains a quoted comma.
+  std::istringstream in(text);
+  std::string line;
+  std::string out;
+  while (std::getline(in, line)) {
+    std::vector<std::string> fields;
+    std::string field;
+    std::istringstream row(line);
+    while (std::getline(row, field, ',')) {
+      fields.push_back(field);
+    }
+    if (fields.size() > 9) {
+      fields[8] = "0";
+      fields[9] = "0";
+    }
+    for (size_t i = 0; i < fields.size(); ++i) {
+      out += (i == 0 ? "" : ",") + fields[i];
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+TEST(SweepEngineTest, ResumeReproducesByteIdenticalSinkOutput) {
+  for (int jobs : {1, 8}) {
+    const std::string journal = JournalPath("resume_j" + std::to_string(jobs));
+    std::remove(journal.c_str());
+
+    const SweepCapture full = RunJournaled(TinySweep(), journal, jobs, /*resume=*/false);
+    ASSERT_EQ(full.summary.ok, 4u) << "jobs=" << jobs;
+
+    // Keep the header and the first two completed rows — what a kill -9
+    // leaves behind (the journal flushes per record).
+    TruncateJournal(journal, /*keep=*/2);
+
+    const SweepCapture resumed =
+        RunJournaled(TinySweep(), journal, jobs, /*resume=*/true);
+    EXPECT_EQ(resumed.summary.resumed, 2u) << "jobs=" << jobs;
+    EXPECT_EQ(resumed.summary.ok, 4u) << "jobs=" << jobs;
+    EXPECT_TRUE(resumed.summary.AllOk());
+
+    EXPECT_EQ(NormalizeJsonl(resumed.jsonl), NormalizeJsonl(full.jsonl))
+        << "jobs=" << jobs;
+    EXPECT_EQ(NormalizeCsv(resumed.csv), NormalizeCsv(full.csv)) << "jobs=" << jobs;
+    std::remove(journal.c_str());
+  }
+}
+
+TEST(SweepEngineTest, ResumedRowsReplayExactDoublesFromTheJournal) {
+  // Beyond normalized-equality: the replayed rows' result fields round-trip
+  // through the journal bit-exactly.
+  const std::string journal = JournalPath("replay");
+  std::remove(journal.c_str());
+  const SweepCapture full = RunJournaled(TinySweep(), journal, /*jobs=*/1, false);
+  TruncateJournal(journal, 2);
+  const SweepCapture resumed = RunJournaled(TinySweep(), journal, 1, true);
+  ASSERT_EQ(resumed.records.size(), full.records.size());
+  for (size_t i = 0; i < full.records.size(); ++i) {
+    ExpectSameResult(resumed.records[i].result, full.records[i].result);
+  }
+  std::remove(journal.c_str());
+}
+
+TEST(SweepEngineTest, ResumeRefusesJournalFromDifferentSweep) {
+  const std::string journal = JournalPath("mismatch");
+  std::remove(journal.c_str());
+  RunJournaled(TinySweep(), journal, 1, false);
+
+  SweepSpec other = TinySweep();
+  other.seed = 12;  // different seeds -> different fingerprint
+  SweepOptions opts;
+  opts.jobs = 1;
+  opts.progress = false;
+  opts.journal_path = journal;
+  opts.resume = 1;
+  EXPECT_THROW(SweepEngine(opts).Run(other), std::runtime_error);
+  std::remove(journal.c_str());
 }
 
 TEST(SweepEngineTest, ResolveJobsPrefersExplicitThenEnvThenHardware) {
