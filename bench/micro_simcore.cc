@@ -11,6 +11,8 @@
 #include "src/sim/simulator.h"
 #include "src/topo/builders.h"
 #include "src/topo/routing.h"
+#include "src/trace/flight_recorder.h"
+#include "src/trace/trace_bus.h"
 #include "src/util/stats_util.h"
 
 namespace dibs {
@@ -106,6 +108,67 @@ void BM_SwitchPacketHop(benchmark::State& state) {
       benchmark::Counter(static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_SwitchPacketHop);
+
+void BM_SwitchPacketHopTraceFiltered(benchmark::State& state) {
+  // Same hop loop with a trace bus attached but filtering everything out
+  // (sample=0): the cost of *armed* tracing that emits nothing. This is the
+  // price paid per hook call when a user traces one flow out of millions.
+  Simulator sim;
+  Network net(&sim, BuildPaperFatTree(), NetworkConfig{});
+  TraceBus bus;
+  TraceFilter filter;
+  filter.sample = 0.0;
+  bus.SetFilter(filter);
+  net.AttachTraceBus(&bus);
+  uint64_t batch = 0;
+  for (auto _ : state) {
+    Packet p;
+    p.uid = net.NextPacketUid();
+    p.src = static_cast<HostId>(batch % 64);
+    p.dst = static_cast<HostId>(127 - batch % 64);
+    p.size_bytes = 1500;
+    p.ttl = 64;
+    p.flow = batch;
+    net.host(p.src).Send(std::move(p));
+    if (++batch % 32 == 0) {
+      sim.Run();
+    }
+  }
+  sim.Run();
+  state.counters["pkts/s"] =
+      benchmark::Counter(static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SwitchPacketHopTraceFiltered);
+
+void BM_SwitchPacketHopTraceRing(benchmark::State& state) {
+  // Same hop loop with full tracing into a flight-recorder ring (pass-all
+  // filter): the in-memory cost ceiling, with no file I/O on the hot path.
+  Simulator sim;
+  Network net(&sim, BuildPaperFatTree(), NetworkConfig{});
+  TraceBus bus;
+  FlightRecorder ring(/*capacity=*/65536);
+  bus.AddSink(&ring);
+  net.AttachTraceBus(&bus);
+  uint64_t batch = 0;
+  for (auto _ : state) {
+    Packet p;
+    p.uid = net.NextPacketUid();
+    p.src = static_cast<HostId>(batch % 64);
+    p.dst = static_cast<HostId>(127 - batch % 64);
+    p.size_bytes = 1500;
+    p.ttl = 64;
+    p.flow = batch;
+    net.host(p.src).Send(std::move(p));
+    if (++batch % 32 == 0) {
+      sim.Run();
+    }
+  }
+  sim.Run();
+  benchmark::DoNotOptimize(ring.total_events());
+  state.counters["pkts/s"] =
+      benchmark::Counter(static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SwitchPacketHopTraceRing);
 
 void BM_PercentileOf100k(benchmark::State& state) {
   std::vector<double> values;

@@ -18,14 +18,27 @@
 #                           DIBS_VALIDATE=1 and DIBS_REQUIRE_OK=1 (any run
 #                           a validation throw fails is fatal), on the
 #                           tier-1 build tree.
-#   7. resilience smoke   — the fault-injection bench under ASan+UBSan with
+#   7. trace smoke        — fig11 again with DIBS_TRACE=1: tables must be
+#                           byte-identical to the untraced stage-6 run, every
+#                           per-run trace JSONL must pass `trace_tool
+#                           summarize`, the Perfetto export must be valid
+#                           JSON, and the same traced bench must run clean
+#                           under ASan+UBSan. Also kills one child run via
+#                           DIBS_TEST_CRASH_RUN (process isolation) and
+#                           requires the flight-recorder crash dump it leaves
+#                           behind to be parseable. Finally the tracing-off
+#                           overhead guard: BM_SwitchPacketHop must stay
+#                           within 2% of the per-machine ratcheted baseline
+#                           cached in the build tree
+#                           (tools/check_trace_overhead.py).
+#   8. resilience smoke   — the fault-injection bench under ASan+UBSan with
 #                           DIBS_VALIDATE=1 (the conservation ledger must
 #                           balance through link flaps, lossy links, and a
 #                           ToR crash), run twice — DIBS_JOBS=1 then
 #                           DIBS_JOBS=8 — and diffed: tables byte-identical,
 #                           JSONL identical modulo host-side wall-clock
 #                           metadata (wall_ms / events_per_sec).
-#   8. crash-resume       — kills (SIGKILL) the resilience bench mid-sweep,
+#   9. crash-resume       — kills (SIGKILL) the resilience bench mid-sweep,
 #                           resumes it from its run journal (DIBS_RESUME=1),
 #                           and byte-diffs the resumed tables/JSONL against
 #                           an uninterrupted run at DIBS_JOBS=1 and 8 — the
@@ -34,7 +47,7 @@
 #                           machinery (DIBS_TEST_CRASH_RUN, DIBS_ISOLATE)
 #                           are exercised by tests/exp under stage 5's
 #                           ASan+UBSan config.
-#   9. tsan               — sweep engine under ThreadSanitizer (tests/exp)
+#  10. tsan               — sweep engine under ThreadSanitizer (tests/exp)
 #                           so data races in the threaded layer fail the
 #                           pipeline.
 #
@@ -52,7 +65,7 @@ python3 tools/determinism_lint.py
 
 echo "== format: clang-format check =="
 if command -v clang-format >/dev/null 2>&1; then
-  find src tests bench examples -name '*.h' -o -name '*.cc' -o -name '*.cpp' \
+  find src tests bench examples tools -name '*.h' -o -name '*.cc' -o -name '*.cpp' \
     | xargs clang-format --dry-run --Werror
 else
   echo "clang-format not found, skipping"
@@ -72,16 +85,75 @@ cmake --build build-asan -j"$JOBS"
 ASAN_OPTIONS="halt_on_error=1:detect_leaks=1" UBSAN_OPTIONS="halt_on_error=1" \
   DIBS_VALIDATE=1 ctest --test-dir build-asan --output-on-failure -j"$JOBS"
 
+# Scratch space shared by the smoke stages below.
+CI_TMP="$(mktemp -d)"
+trap 'rm -rf "$CI_TMP"' EXIT
+
 echo "== smoke: fig11 incast-degree bench with DIBS_VALIDATE=1 =="
-DIBS_VALIDATE=1 DIBS_REQUIRE_OK=1 DIBS_BENCH_DURATION_MS=50 ./build/bench/fig11_incast_degree
+DIBS_VALIDATE=1 DIBS_REQUIRE_OK=1 DIBS_BENCH_DURATION_MS=50 \
+  ./build/bench/fig11_incast_degree | tee "$CI_TMP/fig11_plain.txt"
+
+echo "== trace: fig11 with tracing on — identical tables, parseable traces =="
+TR_TMP="$CI_TMP/trace"
+mkdir -p "$TR_TMP"
+cmake --build build -j"$JOBS" --target trace_tool
+# Tracing must be an observer, never a participant: the traced run's tables
+# must be byte-identical to the untraced stage-6 run.
+DIBS_VALIDATE=1 DIBS_REQUIRE_OK=1 DIBS_BENCH_DURATION_MS=50 \
+  DIBS_TRACE=1 DIBS_TRACE_JSONL="$TR_TMP/fig11.jsonl" \
+  ./build/bench/fig11_incast_degree > "$TR_TMP/fig11_traced.txt"
+diff -u "$CI_TMP/fig11_plain.txt" "$TR_TMP/fig11_traced.txt"
+echo "trace: tables byte-identical with tracing on"
+# Every per-run trace must decode and summarize (summarize exits nonzero on
+# an empty or unopenable trace), and the Perfetto export must be valid JSON.
+for f in "$TR_TMP"/fig11.run*.jsonl; do
+  ./build/tools/trace_tool summarize "$f" > /dev/null
+done
+./build/tools/trace_tool to-perfetto "$TR_TMP/fig11.run0.jsonl" \
+  "$TR_TMP/fig11.run0.perfetto.json" > /dev/null
+python3 -c 'import json,sys; json.load(open(sys.argv[1]))' \
+  "$TR_TMP/fig11.run0.perfetto.json"
+echo "trace: $(ls "$TR_TMP"/fig11.run*.jsonl | wc -l) per-run traces summarize cleanly"
+
+echo "== trace: same traced bench under ASan+UBSan =="
+cmake --build build-asan -j"$JOBS" --target fig11_incast_degree
+ASAN_OPTIONS="halt_on_error=1:detect_leaks=1" UBSAN_OPTIONS="halt_on_error=1" \
+  DIBS_VALIDATE=1 DIBS_REQUIRE_OK=1 DIBS_BENCH_DURATION_MS=50 \
+  DIBS_TRACE=1 DIBS_TRACE_JSONL="$TR_TMP/fig11_asan.jsonl" \
+  DIBS_TRACE_PERFETTO="$TR_TMP/fig11_asan.perfetto.json" \
+  ./build-asan/bench/fig11_incast_degree > /dev/null
+./build/tools/trace_tool summarize "$TR_TMP/fig11_asan.run0.jsonl" > /dev/null
+
+echo "== trace: forced child crash leaves a parseable flight-recorder dump =="
+# Run 2 of the sweep segfaults inside an isolated child process; the crash
+# handler must dump the flight-recorder ring before the process dies, and the
+# dump must be analyzable after the fact. No DIBS_REQUIRE_OK: the crashed row
+# is expected and the sweep itself finishes.
+rm -f "$TR_TMP"/crash_dump*.jsonl
+DIBS_BENCH_DURATION_MS=50 DIBS_ISOLATE=process DIBS_TEST_CRASH_RUN=2 \
+  DIBS_TRACE=1 DIBS_TRACE_DUMP_PATH="$TR_TMP/crash_dump.jsonl" \
+  ./build/bench/fig11_incast_degree > /dev/null
+./build/tools/trace_tool summarize "$TR_TMP/crash_dump.run2.jsonl"
+echo "trace: crash dump parseable"
+
+echo "== trace: tracing-off overhead guard on micro_simcore =="
+# BM_SwitchPacketHop runs with no trace bus attached; the trace variants ride
+# along as smoke. The guard ratchets against a per-machine baseline cached in
+# the (incremental, per-machine) build tree — wall-clock baselines do not
+# transfer between machines.
+./build/bench/micro_simcore --benchmark_filter='^BM_SwitchPacketHop' \
+  --benchmark_repetitions=5 --benchmark_format=json \
+  > "$TR_TMP/switch_hop.json"
+python3 tools/check_trace_overhead.py "$TR_TMP/switch_hop.json" \
+  build/trace_overhead_baseline.json 2.0
 
 echo "== smoke: resilience fault-injection bench, seed-determinism across DIBS_JOBS =="
 # ASan+UBSan build (stage 5 already built it) with the invariant checker on:
 # every fault cell must keep the conservation ledger balanced, and the whole
 # sweep must be reproducible regardless of worker count.
 cmake --build build-asan -j"$JOBS" --target resilience
-RES_TMP="$(mktemp -d)"
-trap 'rm -rf "$RES_TMP"' EXIT
+RES_TMP="$CI_TMP/resilience"
+mkdir -p "$RES_TMP"
 for jobs in 1 8; do
   ASAN_OPTIONS="halt_on_error=1:detect_leaks=1" UBSAN_OPTIONS="halt_on_error=1" \
     DIBS_VALIDATE=1 DIBS_REQUIRE_OK=1 DIBS_BENCH_DURATION_MS=50 DIBS_JOBS="$jobs" \

@@ -20,8 +20,9 @@
 //
 // The Network auto-installs one checker when validation is enabled, so
 // `DIBS_VALIDATE=1 ctest` exercises the ledger everywhere. Violations throw
-// ValidationError with the packet's description (including its path trace
-// when tracing is on).
+// ValidationError with the packet's description (uid/TTL/detour count); when
+// tracing is on, the throw also dumps the flight-recorder ring, so the event
+// history leading up to the violation survives for trace_tool.
 
 #ifndef SRC_DEVICE_INVARIANT_CHECKER_H_
 #define SRC_DEVICE_INVARIANT_CHECKER_H_

@@ -16,6 +16,7 @@
 #include "src/sim/simulator.h"
 #include "src/topo/routing.h"
 #include "src/topo/topology.h"
+#include "src/trace/trace_bus.h"
 
 namespace dibs {
 
@@ -66,9 +67,6 @@ struct NetworkConfig {
   // help incast (the last hop is the bottleneck); the ablation bench
   // demonstrates it.
   bool packet_level_ecmp = false;
-
-  // Allocate per-packet path traces (Figure 1). Expensive; off by default.
-  bool trace_packets = false;
 };
 
 class Network {
@@ -100,6 +98,25 @@ class Network {
   void NotifyDetour(int node, uint16_t port, const Packet& p);
   void NotifyDrop(int node, const Packet& p, DropReason reason);
   void NotifyHostDeliver(HostId host, const Packet& p);
+  void NotifyEnqueue(int node, uint16_t port, size_t queue_depth);
+  void NotifyDequeue(int node, uint16_t port, const Packet& p, size_t queue_depth);
+
+  // ---- Packet-lifecycle tracing (src/trace) ----
+  //
+  // Attaching a TraceBus arms event emission across the forwarding path;
+  // with no bus attached every emission site is a single pointer check.
+  // Tracing never consumes simulator RNG and never changes scheduling, so a
+  // traced run is bit-identical to the same run untraced.
+  void AttachTraceBus(TraceBus* bus) { trace_ = bus; }
+  bool TraceArmed() const { return trace_ != nullptr; }
+  void EmitTrace(const TraceEvent& e) {
+    if (trace_ != nullptr) {
+      trace_->Emit(e);
+    }
+  }
+  // Transport-layer events (RTO fired / segment retransmitted), attributed
+  // to the sending host's node.
+  void TraceTransportEvent(TraceEventType type, HostId host, FlowId flow, uint32_t seq);
 
   // ---- Fault model (driven by fault::FaultInjector or tests) ----
   //
@@ -160,8 +177,9 @@ class Network {
   Topology topo_;
   NetworkConfig config_;
   Fib fib_;
-  std::vector<bool> link_admin_up_;  // indexed by link id
-  std::vector<bool> node_up_;        // indexed by node id; false = crashed switch
+  std::vector<bool> link_admin_up_;      // indexed by link id
+  std::vector<bool> node_up_;            // indexed by node id; false = crashed switch
+  std::vector<bool> link_effective_up_;  // last applied effective state, for trace edges
   std::unique_ptr<DetourPolicy> policy_;
 
   std::vector<std::unique_ptr<Node>> nodes_;                 // indexed by topo node id
@@ -169,6 +187,7 @@ class Network {
   std::vector<int> switch_ids_;
   std::vector<NetworkObserver*> observers_;
   std::unique_ptr<InvariantChecker> invariant_checker_;      // DIBS_VALIDATE only
+  TraceBus* trace_ = nullptr;                                // not owned; may be null
 
   uint64_t next_uid_ = 1;
   uint64_t total_drops_ = 0;

@@ -5,6 +5,8 @@
 #ifndef SRC_DEVICE_OBSERVER_H_
 #define SRC_DEVICE_OBSERVER_H_
 
+#include <cstddef>
+
 #include "src/net/drop_reason.h"
 #include "src/net/packet.h"
 #include "src/sim/time.h"
@@ -27,6 +29,17 @@ class NetworkObserver {
 
   // A host received a packet addressed to it.
   virtual void OnHostDeliver(HostId host, const Packet& p, Time at) {}
+
+  // A packet was admitted to node's output queue `port`; `queue_depth` is the
+  // occupancy right after admission. No Packet parameter: the packet has
+  // already been moved into the queue, and copying it just for observation
+  // would tax the untraced hot path.
+  virtual void OnEnqueue(int node, uint16_t port, size_t queue_depth, Time at) {}
+
+  // A packet left node's output queue `port` (transmission start, or a
+  // fault-drain); `queue_depth` is the occupancy right after removal.
+  virtual void OnDequeue(int node, uint16_t port, const Packet& p, size_t queue_depth,
+                         Time at) {}
 };
 
 }  // namespace dibs

@@ -1,8 +1,10 @@
 #include "src/device/port.h"
 
+#include <optional>
 #include <utility>
 
 #include "src/device/invariant_checker.h"
+#include "src/device/network.h"
 #include "src/util/logging.h"
 
 namespace dibs {
@@ -17,11 +19,45 @@ bool Port::EnqueueAndTransmit(Packet&& p) {
     }
     return true;
   }
+  p.enqueued_at = sim_->Now();
+  // The packet is gone after Enqueue (moved, possibly destroyed by a pFabric
+  // eviction), so snapshot the trace event first — but only when a bus is
+  // armed, so the untraced hot path never copies packet fields.
+  std::optional<TraceEvent> ev;
+  if (network_ != nullptr && network_->TraceArmed()) {
+    ev.emplace(MakeTracePacketEvent(TraceEventType::kEnqueue, sim_->Now(), owner_->id(),
+                                    index_, p));
+  }
   if (!queue_->Enqueue(std::move(p))) {
     return false;
   }
+  if (network_ != nullptr) {
+    const size_t depth = queue_->size_packets();
+    network_->NotifyEnqueue(owner_->id(), index_, depth);
+    if (ev.has_value()) {
+      ev->queue_depth = static_cast<int32_t>(depth);
+      network_->EmitTrace(*ev);
+    }
+  }
   MaybeTransmit();
   return true;
+}
+
+void Port::SetPaused(bool paused) {
+  if (paused_ != paused) {
+    paused_ = paused;
+    if (network_ != nullptr && network_->TraceArmed()) {
+      TraceEvent ev;
+      ev.at = sim_->Now();
+      ev.type = paused ? TraceEventType::kPause : TraceEventType::kUnpause;
+      ev.node = owner_->id();
+      ev.port = index_;
+      network_->EmitTrace(ev);
+    }
+  }
+  if (!paused_) {
+    MaybeTransmit();
+  }
 }
 
 void Port::SetLinkUp(bool up) {
@@ -42,6 +78,9 @@ void Port::SetLinkUp(bool up) {
       break;
     }
     owner_->OnPortDequeue(index_);
+    if (network_ != nullptr) {
+      network_->NotifyDequeue(owner_->id(), index_, *dead, queue_->size_packets());
+    }
     if (fault_drop_) {
       fault_drop_(std::move(*dead), DropReason::kFaultLinkDown);
     }
@@ -62,6 +101,10 @@ void Port::MaybeTransmit() {
   }
   DIBS_CHECK(peer_ != nullptr) << "port transmitted before Connect()";
   owner_->OnPortDequeue(index_);
+  const bool traced = network_ != nullptr && network_->TraceArmed();
+  if (network_ != nullptr) {
+    network_->NotifyDequeue(owner_->id(), index_, *next, queue_->size_packets());
+  }
   transmitting_ = true;
   const Time serialization = SerializationDelay(next->size_bytes, rate_bps_);
   bytes_sent_ += next->size_bytes;
@@ -74,6 +117,11 @@ void Port::MaybeTransmit() {
     transmitting_ = false;
     MaybeTransmit();
   });
+
+  if (traced) {
+    network_->EmitTrace(MakeTracePacketEvent(TraceEventType::kWireEnter, sim_->Now(),
+                                             owner_->id(), index_, *next));
+  }
 
   // Degraded link: the frame may be corrupted in flight. The wire slot is
   // still consumed (the serialization event above stands), but the packet
@@ -91,6 +139,8 @@ void Port::MaybeTransmit() {
 
   Node* peer = peer_;
   const uint16_t peer_port = peer_port_;
+  const int32_t peer_node = peer->id();
+  Network* net = traced ? network_ : nullptr;
   // The packet is "on the wire" from the moment it left the queue until the
   // peer takes it; the conservation ledger tracks that window (and flags a
   // transmission through a down link as a dead-port delivery).
@@ -98,9 +148,15 @@ void Port::MaybeTransmit() {
     checker_->OnWireEnter(*next, link_up_);
   }
   sim_->Schedule(serialization + prop,
-                 [peer, peer_port, checker = checker_, pkt = std::move(*next)]() mutable {
+                 [peer, peer_port, peer_node, net, checker = checker_,
+                  pkt = std::move(*next)]() mutable {
                    if (checker != nullptr) {
                      checker->OnWireExit(pkt);
+                   }
+                   if (net != nullptr) {
+                     net->EmitTrace(MakeTracePacketEvent(TraceEventType::kWireExit,
+                                                         net->sim().Now(), peer_node,
+                                                         peer_port, pkt));
                    }
                    peer->HandleReceive(std::move(pkt), peer_port);
                  });

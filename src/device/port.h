@@ -20,6 +20,7 @@
 namespace dibs {
 
 class InvariantChecker;
+class Network;
 
 class Port {
  public:
@@ -56,12 +57,7 @@ class Port {
   // Ethernet flow control: while paused the transmitter holds its queue
   // (a packet already on the wire is not recalled). Unpausing kicks the
   // transmitter immediately.
-  void SetPaused(bool paused) {
-    paused_ = paused;
-    if (!paused_) {
-      MaybeTransmit();
-    }
-  }
+  void SetPaused(bool paused);
   bool paused() const { return paused_; }
 
   // Fault model (src/fault). Taking the link down drains the queue — every
@@ -100,6 +96,11 @@ class Port {
   // into this port's transmitter. Null (the default) disables it.
   void AttachInvariantChecker(InvariantChecker* checker) { checker_ = checker; }
 
+  // Wires observer/trace fan-out (enqueue/dequeue depth, wire events, pause
+  // transitions) through the owning Network. Null (the default, and what
+  // unit tests that build bare Ports get) disables all of it.
+  void AttachNetwork(Network* network) { network_ = network; }
+
  private:
   void MaybeTransmit();
 
@@ -123,6 +124,7 @@ class Port {
   uint64_t bytes_sent_ = 0;
   uint64_t packets_sent_ = 0;
   InvariantChecker* checker_ = nullptr;  // DIBS_VALIDATE wire accounting
+  Network* network_ = nullptr;           // observer/trace fan-out; may be null
 };
 
 }  // namespace dibs

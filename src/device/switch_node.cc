@@ -68,12 +68,10 @@ void SwitchNode::HandleReceive(Packet&& p, uint16_t in_port) {
           p.ce = true;
         }
         net.NotifyDetour(id(), *port, p);
-        p.RecordHop(id(), net.sim().Now(), /*detoured=*/true);
         Forward(std::move(p), *port);
         return;
       }
     }
-    p.RecordHop(id(), net.sim().Now(), /*detoured=*/false);
     Forward(std::move(p), desired);
     return;
   }
@@ -111,7 +109,6 @@ void SwitchNode::DetourOrDrop(Packet&& p, uint16_t desired_port, uint16_t in_por
     p.ce = true;
   }
   net.NotifyDetour(id(), *port, p);
-  p.RecordHop(id(), net.sim().Now(), /*detoured=*/true);
   Forward(std::move(p), *port);
 }
 

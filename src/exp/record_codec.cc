@@ -435,6 +435,9 @@ std::string EncodeRunRecord(const RunRecord& r) {
      << ",\"detoured_fraction\":" << JsonNum(s.detoured_fraction)
      << ",\"query_detour_share\":" << JsonNum(s.query_detour_share)
      << ",\"detour_count_p99\":" << JsonNum(s.detour_count_p99)
+     << ",\"queueing_delay_us\":";
+  WriteSummary(os, s.queueing_delay_us);
+  os << ",\"loop_packets\":" << s.loop_packets
      << ",\"retransmits\":" << s.retransmits << ",\"timeouts\":" << s.timeouts
      << ",\"hot_fractions\":";
   WriteDoubleArray(os, s.hot_fractions);
@@ -547,6 +550,8 @@ bool DecodeRunRecord(const std::string& line, RunRecord* record,
     GetDouble(*res, "detoured_fraction", &s.detoured_fraction);
     GetDouble(*res, "query_detour_share", &s.query_detour_share);
     GetDouble(*res, "detour_count_p99", &s.detour_count_p99);
+    GetSummary(*res, "queueing_delay_us", &s.queueing_delay_us);
+    GetUint(*res, "loop_packets", &s.loop_packets);
     GetUint(*res, "retransmits", &s.retransmits);
     GetUint(*res, "timeouts", &s.timeouts);
     GetDoubleArray(*res, "hot_fractions", &s.hot_fractions);

@@ -77,7 +77,12 @@ void CsvSink::OnRecord(const RunRecord& r) {
            "fault_flows_stalled,fault_flows_recovered,fault_recovery_ms_max,"
            "detours,delivered_packets,detoured_fraction,"
            "query_detour_share,detour_count_p99,retransmits,timeouts,"
-           "events_processed\n";
+           "events_processed,"
+           // Trace-era telemetry rides at the end: ci.sh's wall-clock
+           // normalization addresses wall_ms/events_per_sec by column index,
+           // so new columns must append, never insert.
+           "queueing_count,queueing_mean_us,queueing_p50_us,queueing_p99_us,"
+           "loop_packets\n";
     wrote_header_ = true;
   }
   const ScenarioResult& s = r.result;
@@ -97,7 +102,10 @@ void CsvSink::OnRecord(const RunRecord& r) {
       << s.detours << ","
       << s.delivered_packets << "," << CsvNum(s.detoured_fraction) << ","
       << CsvNum(s.query_detour_share) << "," << CsvNum(s.detour_count_p99) << ","
-      << s.retransmits << "," << s.timeouts << "," << s.events_processed << "\n";
+      << s.retransmits << "," << s.timeouts << "," << s.events_processed << ","
+      << s.queueing_delay_us.count << "," << CsvNum(s.queueing_delay_us.mean) << ","
+      << CsvNum(s.queueing_delay_us.p50) << "," << CsvNum(s.queueing_delay_us.p99)
+      << "," << s.loop_packets << "\n";
   os_.flush();
 }
 

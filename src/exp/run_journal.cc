@@ -88,7 +88,8 @@ uint64_t DigestConfig(const ExperimentConfig& c) {
   h.Mix(static_cast<uint64_t>(n.pfc_xoff_packets));
   h.Mix(static_cast<uint64_t>(n.pfc_xon_packets));
   h.Mix(n.packet_level_ecmp);
-  h.Mix(n.trace_packets);
+  // TraceConfig is deliberately NOT mixed: tracing is observability, and
+  // toggling it must not invalidate journaled results (like sweep_run_index).
 
   h.Mix(static_cast<int64_t>(c.transport));
   const TcpConfig& t = c.tcp;

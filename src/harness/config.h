@@ -17,6 +17,7 @@
 #include "src/fault/fault_plan.h"
 #include "src/sim/time.h"
 #include "src/topo/builders.h"
+#include "src/trace/trace_config.h"
 #include "src/transport/tcp_config.h"
 
 namespace dibs {
@@ -71,6 +72,11 @@ struct ExperimentConfig {
   double hot_threshold = 0.9;
   bool monitor_buffers = false;
   Time buffer_interval = Time::Millis(1);
+
+  // Packet-lifecycle tracing (src/trace). Overridable per process via the
+  // DIBS_TRACE* environment; excluded from the journal's config digest —
+  // tracing is observability and never changes simulation results.
+  TraceConfig trace;
 
   std::string label;  // free-form tag printed by the harness
 

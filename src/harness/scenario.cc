@@ -4,10 +4,14 @@
 #include <unistd.h>
 
 #include <cstdlib>
+#include <map>
+#include <string>
 #include <utility>
 
 #include "src/device/invariant_checker.h"
+#include "src/trace/flight_recorder.h"
 #include "src/util/logging.h"
+#include "src/util/validation.h"
 
 namespace dibs {
 
@@ -17,19 +21,29 @@ namespace {
 // containment and hard watchdog (src/exp/process_runner). Env-gated so
 // tests and CI can exercise the crashed/watchdog paths without flaky
 // timing: when DIBS_TEST_CRASH_RUN (resp. DIBS_TEST_HANG_RUN) names this
-// run's sweep matrix index, the run dies by a real SIGSEGV (resp. wedges
-// outside the simulator event loop, where the cooperative interrupt check
-// can never fire). Never set in production sweeps.
-void MaybeInjectTestFailure(int sweep_run_index) {
+// run's sweep matrix index, the run dies by a real SIGSEGV mid-run (resp.
+// wedges outside the simulator event loop, where the cooperative interrupt
+// check can never fire). Never set in production sweeps.
+void MaybeInjectTestFailure(int sweep_run_index, Simulator* sim, Time crash_at) {
   if (sweep_run_index < 0) {
     return;
   }
   if (const char* env = std::getenv("DIBS_TEST_CRASH_RUN");
       env != nullptr && std::atoi(env) == sweep_run_index) {
-    // Restore the default disposition first so the process dies by the
-    // signal even under ASan (which installs its own SEGV reporter).
-    ::signal(SIGSEGV, SIG_DFL);
-    ::raise(SIGSEGV);
+    // The SIGSEGV fires mid-run (sim time), not at startup, so an armed
+    // flight-recorder dump captures the events leading up to the fault —
+    // the whole point of a crash dump.
+    sim->Schedule(crash_at, [] {
+      // Restore the default disposition first so the process dies by the
+      // signal even under ASan (which installs its own SEGV reporter) —
+      // unless a flight-recorder crash dump is armed: its handler must run
+      // first (it re-raises with the default disposition restored, so the
+      // process still dies by SIGSEGV either way).
+      if (!CrashDumpArmed()) {
+        ::signal(SIGSEGV, SIG_DFL);
+      }
+      ::raise(SIGSEGV);
+    });
   }
   if (const char* env = std::getenv("DIBS_TEST_HANG_RUN");
       env != nullptr && std::atoi(env) == sweep_run_index) {
@@ -45,6 +59,12 @@ Scenario::Scenario(const ExperimentConfig& config) : config_(config) {
   sim_ = std::make_unique<Simulator>(config_.seed);
   network_ = std::make_unique<Network>(sim_.get(), BuildTopology(), config_.net);
   network_->AddObserver(&detour_recorder_);
+  // Tracing attaches before any traffic exists so host-send events are never
+  // missed. The env overlay lets sweeps/CI trace without touching configs.
+  if (TraceConfig tcfg = ApplyTraceEnv(config_.trace); tcfg.enabled) {
+    trace_ = std::make_unique<TraceSession>(tcfg, config_.sweep_run_index);
+    network_->AttachTraceBus(trace_->bus());
+  }
   if (!config_.faults.empty()) {
     network_->AddObserver(&fault_recorder_);
     fault_injector_ = std::make_unique<fault::FaultInjector>(network_.get(), config_.faults,
@@ -131,7 +151,7 @@ Topology Scenario::BuildTopology() const {
 }
 
 ScenarioResult Scenario::Run() {
-  MaybeInjectTestFailure(config_.sweep_run_index);
+  MaybeInjectTestFailure(config_.sweep_run_index, sim_.get(), config_.duration / 2);
   if (fault_injector_ != nullptr) {
     fault_injector_->Start();
   }
@@ -148,17 +168,34 @@ ScenarioResult Scenario::Run() {
     buffer_monitor_->Start();
   }
 
-  sim_->RunUntil(config_.duration + config_.drain);
+  try {
+    sim_->RunUntil(config_.duration + config_.drain);
 
-  // DIBS_VALIDATE: the conservation ledger must balance at the cutoff —
-  // every injected packet is delivered, dropped, buffered in a queue, or on
-  // a wire — and, when the event queue fully drained, balance to zero
-  // (nothing buffered, nothing in flight). Throws ValidationError otherwise.
-  if (InvariantChecker* checker = network_->invariant_checker(); checker != nullptr) {
-    checker->CheckBalanced(network_->TotalBufferedPackets());
-    if (sim_->pending_events() == 0) {
-      checker->CheckQuiescent();
+    // DIBS_VALIDATE: the conservation ledger must balance at the cutoff —
+    // every injected packet is delivered, dropped, buffered in a queue, or on
+    // a wire — and, when the event queue fully drained, balance to zero
+    // (nothing buffered, nothing in flight). Throws ValidationError otherwise.
+    if (InvariantChecker* checker = network_->invariant_checker(); checker != nullptr) {
+      checker->CheckBalanced(network_->TotalBufferedPackets());
+      if (sim_->pending_events() == 0) {
+        checker->CheckQuiescent();
+      }
     }
+  } catch (const ValidationError&) {
+    // Dump the flight recorder before the error propagates: the last N
+    // events around the violation are exactly what debugging needs.
+    if (trace_ != nullptr) {
+      trace_->DumpFlight();
+    }
+    throw;
+  }
+
+  if (trace_ != nullptr) {
+    std::map<int32_t, std::string> node_names;
+    for (const TopoNode& n : network_->topology().nodes()) {
+      node_names[n.id] = n.name;
+    }
+    trace_->Finish(node_names);
   }
 
   ScenarioResult r;
@@ -191,6 +228,8 @@ ScenarioResult Scenario::Run() {
           : static_cast<double>(detour_recorder_.query_detours()) /
                 static_cast<double>(detour_recorder_.total_detours());
   r.detour_count_p99 = detour_recorder_.DetourCountQuantile(0.99);
+  r.queueing_delay_us = detour_recorder_.QueueingDelaySummary();
+  r.loop_packets = trace_ != nullptr ? trace_->journeys().loop_packets() : 0;
   r.retransmits = recorder_.total_retransmits();
   r.timeouts = recorder_.total_timeouts();
   if (link_monitor_ != nullptr) {
@@ -213,7 +252,9 @@ ScenarioResult RunScenario(const ExperimentConfig& config) {
 std::string FormatDropBreakdown(const std::vector<uint64_t>& drops_by_reason) {
   std::string out;
   for (size_t i = 0; i < drops_by_reason.size() && i < kNumDropReasons; ++i) {
-    if (drops_by_reason[i] == 0) {
+    // ttl-expired is reported even at zero: it is the aggregate loop-death
+    // figure that trace-derived loop counts get cross-checked against.
+    if (drops_by_reason[i] == 0 && static_cast<DropReason>(i) != DropReason::kTtlExpired) {
       continue;
     }
     if (!out.empty()) {

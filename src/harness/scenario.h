@@ -17,6 +17,7 @@
 #include "src/stats/fault_recorder.h"
 #include "src/stats/flow_recorder.h"
 #include "src/stats/link_monitor.h"
+#include "src/trace/trace_session.h"
 #include "src/transport/flow_manager.h"
 #include "src/util/stats_util.h"
 #include "src/workload/background.h"
@@ -52,6 +53,14 @@ struct ScenarioResult {
   double detoured_fraction = 0;      // fraction of delivered packets detoured
   double query_detour_share = 0;     // detours belonging to query traffic
   double detour_count_p99 = 0;       // per-packet detour-count 99th pct (§5.4.4)
+  // Per-hop queueing delay in µs across every dequeue (host NICs included).
+  // count/mean/min/max exact, percentiles histogram-approximate. Always
+  // populated — it rides the observer hooks, not the trace subsystem.
+  Summary queueing_delay_us;
+  // Packets whose reconstructed journey revisited a node (forwarding loops,
+  // the failure mode TTL exists to bound). Zero unless tracing was enabled;
+  // cross-check against ttl_drops above.
+  uint64_t loop_packets = 0;
   uint64_t retransmits = 0;
   uint64_t timeouts = 0;
 
@@ -89,6 +98,8 @@ class Scenario {
   LinkMonitor* link_monitor() { return link_monitor_.get(); }
   BufferMonitor* buffer_monitor() { return buffer_monitor_.get(); }
   QueryWorkload* query_workload() { return query_.get(); }
+  // Null unless tracing was enabled (config.trace / DIBS_TRACE* env).
+  TraceSession* trace() { return trace_.get(); }
   const ExperimentConfig& config() const { return config_; }
 
  private:
@@ -106,14 +117,17 @@ class Scenario {
   std::unique_ptr<QueryWorkload> query_;
   std::unique_ptr<LinkMonitor> link_monitor_;
   std::unique_ptr<BufferMonitor> buffer_monitor_;
+  std::unique_ptr<TraceSession> trace_;
 };
 
 // Convenience: build, run, return.
 ScenarioResult RunScenario(const ExperimentConfig& config);
 
 // Human-readable drop breakdown for table cells and log lines:
-// "queue-overflow=12;fault-link-down=3" (nonzero reasons only, reason order);
-// "none" when the run dropped nothing.
+// "ttl-expired=0;queue-overflow=12;fault-link-down=3". Nonzero reasons only,
+// in reason order — except ttl-expired, which is always present (even at
+// zero) so trace-derived loop counts have an explicit TTL-death figure to
+// cross-check against next to the detour stats.
 std::string FormatDropBreakdown(const std::vector<uint64_t>& drops_by_reason);
 
 }  // namespace dibs

@@ -86,7 +86,7 @@ class DropTailQueue : public Queue {
   // DIBS_VALIDATE: the running byte counter must equal the sum of buffered
   // packet sizes, and a statically-bounded queue must never exceed capacity.
   // `touched` is the packet involved in the triggering operation, included in
-  // the diagnostic (with its path trace when present).
+  // the diagnostic.
   void CheckConsistent(const Packet* touched) const {
     int64_t actual = 0;
     for (const Packet& q : packets_) {

@@ -6,16 +6,14 @@
 // the paper's data-center setting, §3), ECN codepoints for DCTCP, a TTL that
 // bounds DIBS detours (§5.5.3), and a priority field for pFabric (§5.8).
 //
-// For Figure 1 style analysis a packet can carry an optional shared path
-// trace that records every (node, time, detoured?) hop; it is only allocated
-// when tracing is requested, so the common path stays cheap.
+// Path-level observability (Figure 1 style analysis) lives in src/trace/:
+// packets carry nothing but forwarding state, and per-packet journeys are
+// reconstructed from the trace-event stream instead of riding on the packet.
 
 #ifndef SRC_NET_PACKET_H_
 #define SRC_NET_PACKET_H_
 
 #include <cstdint>
-#include <memory>
-#include <vector>
 
 #include "src/sim/time.h"
 
@@ -33,13 +31,6 @@ enum class TrafficClass : uint8_t {
   kBackground = 0,  // flows drawn from the empirical size distribution
   kQuery = 1,       // partition/aggregate (incast) responses
   kLongLived = 2,   // fairness-experiment bulk flows
-};
-
-// One hop in an optional per-packet path trace (Figure 1).
-struct PathHop {
-  int32_t node = -1;  // Network node id
-  Time at;
-  bool detoured = false;  // true if this node detoured the packet
 };
 
 struct Packet {
@@ -73,16 +64,9 @@ struct Packet {
 
   Time sent_time;  // stamped by the sending host
 
-  // Optional Figure-1 trace; shared_ptr so copies (which do not happen on the
-  // forwarding path — packets are moved) stay consistent.
-  std::shared_ptr<std::vector<PathHop>> trace;
-
-  // Appends a hop if tracing is enabled for this packet.
-  void RecordHop(int32_t node, Time at, bool detoured) {
-    if (trace != nullptr) {
-      trace->push_back(PathHop{node, at, detoured});
-    }
-  }
+  // Stamped by Port on queue admission; OnDequeue observers read it to get
+  // exact per-hop queueing delay without shadow-tracking queue state.
+  Time enqueued_at;
 };
 
 // Default Ethernet-ish sizes used by the transports.

@@ -1,9 +1,9 @@
 // Human-readable packet diagnostics for validation failures and logging.
 //
-// DescribePacket renders every header field the forwarding path reads plus,
-// when the packet carries a Figure-1 path trace, the full hop-by-hop history
-// (node, time, detoured?) — exactly what a DIBS_VALIDATE violation report
-// needs to reconstruct how a packet reached an inconsistent state.
+// DescribePacket renders every header field the forwarding path reads. For
+// the packet's full hop-by-hop history, run with tracing enabled and use the
+// flight-recorder dump (src/trace/) — a DIBS_VALIDATE violation or crash
+// leaves the last N network events on disk, keyed by the uid printed here.
 
 #ifndef SRC_NET_PACKET_DEBUG_H_
 #define SRC_NET_PACKET_DEBUG_H_
@@ -27,17 +27,6 @@ inline std::string DescribePacket(const Packet& p) {
   }
   if (p.fin) {
     os << " fin";
-  }
-  if (p.trace != nullptr && !p.trace->empty()) {
-    os << " path=[";
-    for (size_t i = 0; i < p.trace->size(); ++i) {
-      const PathHop& hop = (*p.trace)[i];
-      if (i > 0) {
-        os << " ";
-      }
-      os << hop.node << "@" << hop.at << (hop.detoured ? "*" : "");
-    }
-    os << "] (* = detoured)";
   }
   os << "}";
   return os.str();

@@ -1,17 +1,23 @@
 #include "src/stats/buffer_monitor.h"
 
+#include <sstream>
+
 #include "src/device/switch_node.h"
 #include "src/util/logging.h"
+#include "src/util/validation.h"
 
 namespace dibs {
 
 BufferMonitor::BufferMonitor(Network* network, Options options)
     : network_(network), options_(std::move(options)) {
   DIBS_CHECK(options_.interval > Time::Zero());
+  depths_.resize(static_cast<size_t>(network_->topology().num_nodes()));
   for (int sw : network_->switch_ids()) {
     one_hop_[sw] = network_->topology().SwitchNeighborhood(sw, 1);
     two_hop_[sw] = network_->topology().SwitchNeighborhood(sw, 2);
+    depths_[static_cast<size_t>(sw)].resize(network_->switch_at(sw).num_ports(), 0);
   }
+  network_->AddObserver(this);
 }
 
 void BufferMonitor::Start() {
@@ -28,7 +34,9 @@ double BufferMonitor::FreeFraction(const std::vector<int>& switches) const {
       continue;  // unbounded queues have no meaningful "free fraction"
     }
     capacity += cap;
-    used += node.buffered_packets();
+    for (const size_t depth : depths_[static_cast<size_t>(sw)]) {
+      used += depth;
+    }
   }
   if (capacity == 0) {
     return 1.0;
@@ -39,17 +47,31 @@ double BufferMonitor::FreeFraction(const std::vector<int>& switches) const {
 void BufferMonitor::Sample() {
   ++total_samples_;
 
+  // DIBS_VALIDATE: the event-driven depth matrix must agree with the queues
+  // themselves — a divergence means an enqueue/dequeue path skipped its
+  // observer notification.
+  if (validate::Enabled()) {
+    for (int sw : network_->switch_ids()) {
+      SwitchNode& node = network_->switch_at(sw);
+      for (uint16_t i = 0; i < node.num_ports(); ++i) {
+        const size_t actual = node.port(i).queue().size_packets();
+        const size_t tracked = depths_[static_cast<size_t>(sw)][i];
+        if (actual != tracked) {
+          std::ostringstream os;
+          os << "switch " << sw << " port " << i << " tracked depth " << tracked
+             << " but queue holds " << actual << " packets at " << network_->sim().Now();
+          validate::Fail("monitor.depth-sync", os.str());
+        }
+      }
+    }
+  }
+
   // Figure 2b snapshots.
   if (!options_.snapshot_switches.empty()) {
     Snapshot snap;
     snap.at = network_->sim().Now();
     for (int sw : options_.snapshot_switches) {
-      SwitchNode& node = network_->switch_at(sw);
-      std::vector<size_t> lengths(node.num_ports());
-      for (uint16_t i = 0; i < node.num_ports(); ++i) {
-        lengths[i] = node.port(i).queue().size_packets();
-      }
-      snap.queue_lengths.push_back(std::move(lengths));
+      snap.queue_lengths.push_back(depths_[static_cast<size_t>(sw)]);
     }
     snapshots_.push_back(std::move(snap));
   }
@@ -60,12 +82,12 @@ void BufferMonitor::Sample() {
     SwitchNode& node = network_->switch_at(sw);
     bool congested = false;
     for (uint16_t i = 0; i < node.num_ports(); ++i) {
-      const auto& queue = node.port(i).queue();
-      if (queue.capacity_packets() == 0) {
+      const size_t cap = node.port(i).queue().capacity_packets();
+      if (cap == 0) {
         continue;
       }
-      const double occ = static_cast<double>(queue.size_packets()) /
-                         static_cast<double>(queue.capacity_packets());
+      const double occ = static_cast<double>(depths_[static_cast<size_t>(sw)][i]) /
+                         static_cast<double>(cap);
       if (occ >= options_.congested_fraction) {
         congested = true;
         break;

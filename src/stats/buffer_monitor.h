@@ -6,6 +6,12 @@
 //  * Figure 5: whenever some switch is congested (any output queue at or
 //    above `congested_fraction` of capacity), record the fraction of buffer
 //    space still free across its 1-hop and 2-hop switch neighborhoods.
+//
+// Queue depths come from the OnEnqueue/OnDequeue observer hooks (every event
+// reports the occupancy after the operation), so sampling reads a local
+// matrix instead of re-polling every queue — and the monitor's view is, by
+// construction, exactly the device layer's. DIBS_VALIDATE cross-checks the
+// two on every sample.
 
 #ifndef SRC_STATS_BUFFER_MONITOR_H_
 #define SRC_STATS_BUFFER_MONITOR_H_
@@ -15,11 +21,12 @@
 #include <vector>
 
 #include "src/device/network.h"
+#include "src/device/observer.h"
 #include "src/sim/simulator.h"
 
 namespace dibs {
 
-class BufferMonitor {
+class BufferMonitor : public NetworkObserver {
  public:
   struct Options {
     Time interval = Time::Millis(1);
@@ -33,9 +40,20 @@ class BufferMonitor {
     std::vector<std::vector<size_t>> queue_lengths;  // [snapshot switch][port]
   };
 
+  // Registers itself as an observer on `network`.
   BufferMonitor(Network* network, Options options);
 
   void Start();
+
+  // Observer hooks: keep the per-switch depth matrix current. Host-node
+  // events are ignored (hosts have no per-port entry in the matrix).
+  void OnEnqueue(int node, uint16_t port, size_t queue_depth, Time at) override {
+    RecordDepth(node, port, queue_depth);
+  }
+  void OnDequeue(int node, uint16_t port, const Packet& p, size_t queue_depth,
+                 Time at) override {
+    RecordDepth(node, port, queue_depth);
+  }
 
   // Figure 5 samples: per (sample, congested switch), fraction of neighbor
   // buffer slots that are free, at radius 1 and radius 2.
@@ -51,8 +69,18 @@ class BufferMonitor {
   void Sample();
   double FreeFraction(const std::vector<int>& switches) const;
 
+  void RecordDepth(int node, uint16_t port, size_t queue_depth) {
+    std::vector<size_t>& depths = depths_[static_cast<size_t>(node)];
+    if (port < depths.size()) {
+      depths[port] = queue_depth;
+    }
+  }
+
   Network* network_;
   Options options_;
+  // depths_[node][port] = occupancy after the last enqueue/dequeue there.
+  // Host nodes get empty vectors, so their events fall through RecordDepth.
+  std::vector<std::vector<size_t>> depths_;
   // Precomputed switch neighborhoods. Ordered map: emission paths walk these
   // keyed off switch_ids(), and an ordered container keeps any future
   // iteration deterministic (determinism lint: unordered-iter ban).

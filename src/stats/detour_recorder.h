@@ -1,6 +1,8 @@
 // DIBS-specific instrumentation: per-switch detour time series (Figure 2a),
-// per-packet detour-count distribution (§5.4.4), and drop accounting by
-// reason. Implemented as a NetworkObserver.
+// per-packet detour-count distribution (§5.4.4), drop accounting by reason,
+// and per-hop queueing-delay telemetry (exact moments + histogram
+// percentiles, fed by the OnDequeue observer hook). Implemented as a
+// NetworkObserver.
 
 #ifndef SRC_STATS_DETOUR_RECORDER_H_
 #define SRC_STATS_DETOUR_RECORDER_H_
@@ -12,6 +14,7 @@
 
 #include "src/device/observer.h"
 #include "src/util/histogram.h"
+#include "src/util/stats_util.h"
 
 namespace dibs {
 
@@ -33,6 +36,22 @@ class DetourRecorder : public NetworkObserver {
   void OnDrop(int node, const Packet& p, DropReason reason, Time at) override {
     ++drops_by_reason_[static_cast<size_t>(reason)];
     ++total_drops_;
+  }
+
+  // Per-hop queueing delay, measured exactly from the admission stamp the
+  // Port writes onto the packet — no shadow queue-state tracking.
+  void OnDequeue(int node, uint16_t port, const Packet& p, size_t queue_depth,
+                 Time at) override {
+    const double us = (at - p.enqueued_at).ToMicros();
+    queueing_delay_us_.Add(us);
+    queueing_sum_us_ += us;
+    if (queueing_count_ == 0 || us < queueing_min_us_) {
+      queueing_min_us_ = us;
+    }
+    if (queueing_count_ == 0 || us > queueing_max_us_) {
+      queueing_max_us_ = us;
+    }
+    ++queueing_count_;
   }
 
   void OnHostDeliver(HostId host, const Packet& p, Time at) override {
@@ -85,6 +104,25 @@ class DetourRecorder : public NetworkObserver {
     return delivered_detours_.ApproxQuantile(fraction);
   }
 
+  // Per-hop queueing delay over every dequeue seen (host NICs included).
+  // count/mean/min/max are exact; percentiles are histogram-approximate
+  // (2 µs buckets, ~16 ms range).
+  Summary QueueingDelaySummary() const {
+    Summary s;
+    s.count = queueing_count_;
+    if (queueing_count_ == 0) {
+      return s;
+    }
+    s.mean = queueing_sum_us_ / static_cast<double>(queueing_count_);
+    s.min = queueing_min_us_;
+    s.max = queueing_max_us_;
+    s.p50 = queueing_delay_us_.ApproxQuantile(0.50);
+    s.p90 = queueing_delay_us_.ApproxQuantile(0.90);
+    s.p99 = queueing_delay_us_.ApproxQuantile(0.99);
+    s.p999 = queueing_delay_us_.ApproxQuantile(0.999);
+    return s;
+  }
+
   // Figure 2a: (bucket start time, detour count) series for one switch.
   std::vector<std::pair<Time, uint64_t>> TimelineFor(int node) const {
     std::vector<std::pair<Time, uint64_t>> out;
@@ -118,6 +156,11 @@ class DetourRecorder : public NetworkObserver {
   uint64_t delivered_with_detours_ = 0;
   uint64_t delivered_marked_ = 0;
   Histogram delivered_detours_;
+  Histogram queueing_delay_us_{2.0, 8192};  // 2 µs buckets, ~16 ms + overflow
+  uint64_t queueing_count_ = 0;
+  double queueing_sum_us_ = 0;
+  double queueing_min_us_ = 0;
+  double queueing_max_us_ = 0;
   std::map<int, std::map<int64_t, uint64_t>> timeline_;  // node -> bucket -> count
 };
 

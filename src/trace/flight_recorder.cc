@@ -1,0 +1,113 @@
+#include "src/trace/flight_recorder.h"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <mutex>
+
+#include "src/trace/trace_codec.h"
+
+namespace dibs {
+
+std::vector<TraceEvent> FlightRecorder::Snapshot() const {
+  std::vector<TraceEvent> out;
+  out.reserve(size());
+  const uint64_t begin = next_ < capacity_ ? 0 : next_ - capacity_;
+  for (uint64_t i = begin; i < next_; ++i) {
+    out.push_back(ring_[i % capacity_]);
+  }
+  return out;
+}
+
+void FlightRecorder::DumpToFd(int fd) const {
+  char buf[kMaxTraceLineBytes];
+  const uint64_t begin = next_ < capacity_ ? 0 : next_ - capacity_;
+  for (uint64_t i = begin; i < next_; ++i) {
+    const size_t n = EncodeTraceEventLine(ring_[i % capacity_], buf, sizeof buf);
+    size_t off = 0;
+    while (off < n) {
+      const ssize_t w = ::write(fd, buf + off, n - off);
+      if (w <= 0) {
+        return;
+      }
+      off += static_cast<size_t>(w);
+    }
+  }
+}
+
+bool FlightRecorder::DumpToFile(const std::string& path) const {
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return false;
+  }
+  DumpToFd(fd);
+  return ::close(fd) == 0;
+}
+
+namespace {
+
+constexpr int kCrashSignals[] = {SIGSEGV, SIGABRT, SIGBUS, SIGFPE, SIGILL};
+constexpr size_t kNumCrashSignals = sizeof(kCrashSignals) / sizeof(kCrashSignals[0]);
+
+// Crash-dump registration, written under g_arm_mutex on the arming thread and
+// read from the (single-shot) signal handler. The handler only runs when the
+// process is already dying, so a stale read races nothing that matters.
+const FlightRecorder* volatile g_armed_recorder = nullptr;
+char g_dump_path[1024] = {0};
+struct sigaction g_previous[kNumCrashSignals];
+bool g_handlers_installed = false;
+std::mutex g_arm_mutex;
+
+void CrashDumpHandler(int sig) {
+  const FlightRecorder* recorder = g_armed_recorder;
+  if (recorder != nullptr && g_dump_path[0] != '\0') {
+    const int fd = ::open(g_dump_path, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd >= 0) {
+      recorder->DumpToFd(fd);
+      ::close(fd);
+    }
+  }
+  // SA_RESETHAND restored the default disposition before we ran; re-raise so
+  // the process dies by the original signal with the original exit status.
+  ::raise(sig);
+}
+
+}  // namespace
+
+void ArmCrashDump(const FlightRecorder* recorder, const std::string& path) {
+  std::lock_guard<std::mutex> lock(g_arm_mutex);
+  std::strncpy(g_dump_path, path.c_str(), sizeof g_dump_path - 1);
+  g_dump_path[sizeof g_dump_path - 1] = '\0';
+  g_armed_recorder = recorder;
+  if (!g_handlers_installed) {
+    struct sigaction sa;
+    std::memset(&sa, 0, sizeof sa);
+    sa.sa_handler = &CrashDumpHandler;
+    sa.sa_flags = SA_NODEFER | SA_RESETHAND;
+    sigemptyset(&sa.sa_mask);
+    for (size_t i = 0; i < kNumCrashSignals; ++i) {
+      ::sigaction(kCrashSignals[i], &sa, &g_previous[i]);
+    }
+    g_handlers_installed = true;
+  }
+}
+
+void DisarmCrashDump(const FlightRecorder* recorder) {
+  std::lock_guard<std::mutex> lock(g_arm_mutex);
+  if (g_armed_recorder != recorder) {
+    return;  // a newer recorder took over; leave its registration alone
+  }
+  g_armed_recorder = nullptr;
+  if (g_handlers_installed) {
+    for (size_t i = 0; i < kNumCrashSignals; ++i) {
+      ::sigaction(kCrashSignals[i], &g_previous[i], nullptr);
+    }
+    g_handlers_installed = false;
+  }
+}
+
+bool CrashDumpArmed() { return g_armed_recorder != nullptr; }
+
+}  // namespace dibs

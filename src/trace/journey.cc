@@ -1,0 +1,154 @@
+#include "src/trace/journey.h"
+
+#include <set>
+
+namespace dibs {
+
+bool PacketJourney::HasLoop() const {
+  std::set<int32_t> seen;
+  for (const JourneyHop& hop : hops) {
+    if (!seen.insert(hop.node).second) {
+      return true;
+    }
+  }
+  return false;
+}
+
+Time PacketJourney::QueueingTime() const {
+  Time total;
+  for (const JourneyHop& hop : hops) {
+    if (hop.dequeued) {
+      total += hop.dequeue_at - hop.enqueue_at;
+    }
+  }
+  return total;
+}
+
+Time PacketJourney::WireTime() const {
+  Time total;
+  for (const JourneyHop& hop : hops) {
+    if (hop.wire_exited) {
+      total += hop.wire_exit_at - hop.dequeue_at;
+    }
+  }
+  return total;
+}
+
+Time PacketJourney::DetourOverhead() const {
+  Time total;
+  for (const JourneyHop& hop : hops) {
+    if (!hop.detoured) {
+      continue;
+    }
+    if (hop.dequeued) {
+      total += hop.dequeue_at - hop.enqueue_at;
+    }
+    if (hop.wire_exited) {
+      total += hop.wire_exit_at - hop.dequeue_at;
+    }
+  }
+  return total;
+}
+
+void JourneyBuilder::OnEvent(const TraceEvent& e) {
+  if (e.uid == 0) {
+    return;  // control event (pause, link/switch transition)
+  }
+  PacketJourney& j = journeys_[e.uid];
+  if (j.uid == 0) {
+    j.uid = e.uid;
+    j.flow = e.flow;
+    j.src = e.src;
+    j.dst = e.dst;
+    j.is_ack = e.is_ack;
+  }
+  switch (e.type) {
+    case TraceEventType::kHostSend:
+      j.sent = true;
+      j.send_time = e.at;
+      break;
+    case TraceEventType::kHostDeliver:
+      j.delivered = true;
+      j.end_time = e.at;
+      j.detour_count = e.detour_count;
+      break;
+    case TraceEventType::kDetour:
+      // The switch re-enqueues on the detour port right after this event;
+      // mark the journey so that enqueue is attributed to the detour.
+      ++j.detour_count;
+      pending_detour_ = e.uid;
+      break;
+    case TraceEventType::kEnqueue: {
+      JourneyHop hop;
+      hop.node = e.node;
+      hop.port = e.port;
+      hop.enqueue_at = e.at;
+      hop.depth_at_enqueue = e.queue_depth;
+      hop.detoured = pending_detour_ == e.uid;
+      pending_detour_ = 0;
+      j.hops.push_back(hop);
+      break;
+    }
+    case TraceEventType::kDequeue:
+      for (auto it = j.hops.rbegin(); it != j.hops.rend(); ++it) {
+        if (it->node == e.node && !it->dequeued) {
+          it->dequeue_at = e.at;
+          it->dequeued = true;
+          break;
+        }
+      }
+      break;
+    case TraceEventType::kWireExit:
+      // e.node is the receiving node; the hop that just completed is the
+      // last dequeued-but-not-landed one.
+      for (auto it = j.hops.rbegin(); it != j.hops.rend(); ++it) {
+        if (it->dequeued && !it->wire_exited) {
+          it->wire_exit_at = e.at;
+          it->wire_exited = true;
+          break;
+        }
+      }
+      break;
+    case TraceEventType::kDrop:
+      j.dropped = true;
+      j.end_time = e.at;
+      j.drop_reason = e.drop_reason;
+      j.detour_count = e.detour_count;
+      break;
+    default:
+      break;  // wire-enter, tcp-*, pause — not needed for reconstruction
+  }
+}
+
+const PacketJourney* JourneyBuilder::Find(uint64_t uid) const {
+  const auto it = journeys_.find(uid);
+  return it == journeys_.end() ? nullptr : &it->second;
+}
+
+uint64_t JourneyBuilder::loop_packets() const {
+  uint64_t n = 0;
+  for (const auto& [uid, j] : journeys_) {
+    if (j.HasLoop()) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+uint64_t JourneyBuilder::delivered_packets() const {
+  uint64_t n = 0;
+  for (const auto& [uid, j] : journeys_) {
+    n += j.delivered ? 1 : 0;
+  }
+  return n;
+}
+
+uint64_t JourneyBuilder::dropped_packets() const {
+  uint64_t n = 0;
+  for (const auto& [uid, j] : journeys_) {
+    n += j.dropped ? 1 : 0;
+  }
+  return n;
+}
+
+}  // namespace dibs

@@ -1,0 +1,87 @@
+// Packet-lifecycle reconstruction: joins the flat trace-event stream back
+// into per-packet journeys — the full hop-by-hop path including detours,
+// loop detection, and a decomposition of time-in-network into queueing,
+// wire, and detour overhead. This replaces the ad-hoc PathHop vector that
+// used to ride on Packet itself.
+
+#ifndef SRC_TRACE_JOURNEY_H_
+#define SRC_TRACE_JOURNEY_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "src/trace/trace_event.h"
+#include "src/trace/trace_sink.h"
+
+namespace dibs {
+
+// One output-queue visit: the packet was enqueued at `node` on `port`,
+// dequeued, and (if forwarded rather than drained) landed at the far end at
+// wire_exit_at. Host NIC visits appear too (node = the host's node id).
+struct JourneyHop {
+  int32_t node = -1;
+  int32_t port = -1;
+  Time enqueue_at;
+  Time dequeue_at;
+  Time wire_exit_at;
+  int32_t depth_at_enqueue = -1;  // queue depth right after admission
+  bool detoured = false;          // this visit was a DIBS detour
+  bool dequeued = false;
+  bool wire_exited = false;
+};
+
+struct PacketJourney {
+  uint64_t uid = 0;
+  FlowId flow = 0;
+  HostId src = kInvalidHost;
+  HostId dst = kInvalidHost;
+  bool is_ack = false;
+  bool sent = false;       // saw host-send
+  bool delivered = false;  // saw host-deliver
+  bool dropped = false;    // saw drop
+  uint8_t drop_reason = 0;
+  uint32_t detour_count = 0;
+  Time send_time;
+  Time end_time;  // deliver or drop time
+  std::vector<JourneyHop> hops;
+
+  // True if the packet visited any node more than once (detour loop).
+  bool HasLoop() const;
+
+  // Time decomposition over completed hops. Queueing = enqueue→dequeue,
+  // wire = dequeue→landing; detour overhead = both, summed over hops that
+  // exist only because a switch detoured the packet.
+  Time QueueingTime() const;
+  Time WireTime() const;
+  Time DetourOverhead() const;
+
+  // End-to-end time in network (valid once delivered or dropped).
+  Time TotalTime() const { return end_time - send_time; }
+};
+
+// TraceSink that folds the event stream into journeys, keyed by uid.
+// Relies on the stream being in simulation-time order (it always is: the
+// simulator is single-threaded per run).
+class JourneyBuilder : public TraceSink {
+ public:
+  void OnEvent(const TraceEvent& e) override;
+
+  const std::map<uint64_t, PacketJourney>& journeys() const { return journeys_; }
+  const PacketJourney* Find(uint64_t uid) const;
+
+  // Journeys that revisited a node; cross-check against TTL-death drops.
+  uint64_t loop_packets() const;
+  uint64_t delivered_packets() const;
+  uint64_t dropped_packets() const;
+
+ private:
+  std::map<uint64_t, PacketJourney> journeys_;
+  // A detour event is immediately followed by the re-enqueue it caused; this
+  // remembers the uid so that enqueue is tagged as a detour hop.
+  uint64_t pending_detour_ = 0;
+};
+
+}  // namespace dibs
+
+#endif  // SRC_TRACE_JOURNEY_H_

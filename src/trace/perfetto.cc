@@ -1,0 +1,134 @@
+#include "src/trace/perfetto.h"
+
+#include <set>
+
+namespace dibs {
+namespace {
+
+// Chrome trace "ts" is in microseconds; format ns as fixed-point micros with
+// integer math so output is byte-identical everywhere.
+std::string TsMicros(Time t) {
+  const int64_t ns = t.nanos();
+  const int64_t whole = ns / 1000;
+  const int64_t frac = ns % 1000;
+  std::string s = std::to_string(whole);
+  s += '.';
+  s += static_cast<char>('0' + frac / 100);
+  s += static_cast<char>('0' + (frac / 10) % 10);
+  s += static_cast<char>('0' + frac % 10);
+  return s;
+}
+
+// pid 0 is reserved in the trace viewer; shift node ids up by one.
+int64_t NodePid(int32_t node) { return static_cast<int64_t>(node) + 1; }
+int64_t PortTid(int32_t port) { return static_cast<int64_t>(port) + 1; }
+
+void WriteMeta(std::ostream& os, bool& first, int64_t pid, const std::string& name) {
+  os << (first ? "" : ",\n") << "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":" << pid
+     << ",\"args\":{\"name\":\"" << name << "\"}}";
+  first = false;
+}
+
+struct OpenSlice {
+  Time enqueue_at;
+  int32_t node = -1;
+  int32_t port = -1;
+};
+
+}  // namespace
+
+void WritePerfettoTrace(std::ostream& os, const std::vector<TraceEvent>& events,
+                        const std::map<int32_t, std::string>& node_names) {
+  os << "{\"traceEvents\":[\n";
+  bool first = true;
+
+  std::set<int32_t> nodes;
+  for (const TraceEvent& e : events) {
+    if (e.node >= 0) {
+      nodes.insert(e.node);
+    }
+  }
+  for (const int32_t node : nodes) {
+    const auto it = node_names.find(node);
+    const std::string name =
+        it != node_names.end() ? it->second : "node" + std::to_string(node);
+    WriteMeta(os, first, NodePid(node), name);
+  }
+
+  // Per-uid state: the currently open queue slice and whether the next
+  // enqueue should close a detour flow arrow.
+  std::map<uint64_t, OpenSlice> open;
+  std::map<uint64_t, bool> detour_pending;
+  // Flow-arrow ids must be unique per arrow; uid*1024+n keeps them stable.
+  std::map<uint64_t, uint32_t> arrow_seq;
+
+  for (const TraceEvent& e : events) {
+    switch (e.type) {
+      case TraceEventType::kEnqueue: {
+        open[e.uid] = OpenSlice{e.at, e.node, e.port};
+        auto pending = detour_pending.find(e.uid);
+        if (pending != detour_pending.end() && pending->second) {
+          pending->second = false;
+          const uint64_t arrow = e.uid * 1024 + arrow_seq[e.uid];
+          os << ",\n{\"ph\":\"f\",\"id\":" << arrow << ",\"name\":\"detour\",\"cat\":\"detour\""
+             << ",\"pid\":" << NodePid(e.node) << ",\"tid\":" << PortTid(e.port)
+             << ",\"ts\":" << TsMicros(e.at) << ",\"bp\":\"e\"}";
+          ++arrow_seq[e.uid];
+        }
+        break;
+      }
+      case TraceEventType::kDequeue: {
+        const auto it = open.find(e.uid);
+        if (it == open.end()) {
+          break;
+        }
+        const OpenSlice& slice = it->second;
+        os << ",\n{\"ph\":\"X\",\"name\":\"pkt " << e.uid << "\",\"cat\":\"queue\""
+           << ",\"pid\":" << NodePid(slice.node) << ",\"tid\":" << PortTid(slice.port)
+           << ",\"ts\":" << TsMicros(slice.enqueue_at)
+           << ",\"dur\":" << TsMicros(e.at - slice.enqueue_at) << ",\"args\":{\"uid\":" << e.uid
+           << ",\"flow\":" << e.flow << ",\"depth\":" << e.queue_depth << "}}";
+        open.erase(it);
+        break;
+      }
+      case TraceEventType::kDetour: {
+        os << ",\n{\"ph\":\"i\",\"name\":\"detour pkt " << e.uid << "\",\"cat\":\"detour\""
+           << ",\"pid\":" << NodePid(e.node) << ",\"tid\":" << PortTid(e.port)
+           << ",\"ts\":" << TsMicros(e.at) << ",\"s\":\"t\"}";
+        const uint64_t arrow = e.uid * 1024 + arrow_seq[e.uid];
+        os << ",\n{\"ph\":\"s\",\"id\":" << arrow << ",\"name\":\"detour\",\"cat\":\"detour\""
+           << ",\"pid\":" << NodePid(e.node) << ",\"tid\":" << PortTid(e.port)
+           << ",\"ts\":" << TsMicros(e.at) << "}";
+        detour_pending[e.uid] = true;
+        break;
+      }
+      case TraceEventType::kDrop: {
+        os << ",\n{\"ph\":\"i\",\"name\":\"drop pkt " << e.uid << " ("
+           << TraceDropReasonName(e.drop_reason) << ")\",\"cat\":\"drop\""
+           << ",\"pid\":" << NodePid(e.node >= 0 ? e.node : 0) << ",\"tid\":0"
+           << ",\"ts\":" << TsMicros(e.at) << ",\"s\":\"p\"}";
+        break;
+      }
+      case TraceEventType::kPause:
+      case TraceEventType::kUnpause:
+      case TraceEventType::kLinkUp:
+      case TraceEventType::kLinkDown:
+      case TraceEventType::kSwitchUp:
+      case TraceEventType::kSwitchDown: {
+        os << ",\n{\"ph\":\"i\",\"name\":\"" << TraceEventTypeName(e.type) << "\",\"cat\":\"control\""
+           << ",\"pid\":" << NodePid(e.node >= 0 ? e.node : 0)
+           << ",\"tid\":" << (e.type == TraceEventType::kPause || e.type == TraceEventType::kUnpause
+                                  ? PortTid(e.port)
+                                  : 0)
+           << ",\"ts\":" << TsMicros(e.at) << ",\"s\":\"p\"}";
+        break;
+      }
+      default:
+        break;  // host-send/deliver, wire events, tcp-* stay out of the view
+    }
+  }
+
+  os << "\n],\"displayTimeUnit\":\"ns\"}\n";
+}
+
+}  // namespace dibs

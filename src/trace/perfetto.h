@@ -1,0 +1,30 @@
+// Chrome trace-event JSON exporter, loadable in ui.perfetto.dev.
+//
+// Layout: one Perfetto "process" per network node (named from the topology),
+// one thread per port. A packet's stay in a queue renders as a complete "X"
+// duration slice on that port's track; detours and drops render as instant
+// events; each detour also emits an "s"/"f" flow arrow from the detouring
+// queue slice to the packet's next enqueue, so a detoured packet's bounce
+// path is a connected arrow chain across node tracks.
+
+#ifndef SRC_TRACE_PERFETTO_H_
+#define SRC_TRACE_PERFETTO_H_
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "src/trace/trace_event.h"
+
+namespace dibs {
+
+// `node_names` maps topology node id -> display name; unnamed nodes fall
+// back to "node<N>". Events must be in simulation-time order.
+void WritePerfettoTrace(std::ostream& os, const std::vector<TraceEvent>& events,
+                        const std::map<int32_t, std::string>& node_names);
+
+}  // namespace dibs
+
+#endif  // SRC_TRACE_PERFETTO_H_

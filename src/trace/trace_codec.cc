@@ -1,0 +1,252 @@
+#include "src/trace/trace_codec.h"
+
+#include <cstdint>
+#include <cstring>
+
+namespace dibs {
+namespace {
+
+// All Append* helpers are async-signal-safe: fixed-size stack state, no
+// allocation, no errno use. `pos` may run past `cap`; callers clamp once at
+// the end, so intermediate arithmetic never writes out of bounds.
+size_t AppendRaw(char* buf, size_t cap, size_t pos, const char* s, size_t len) {
+  for (size_t i = 0; i < len; ++i) {
+    if (pos + i < cap) {
+      buf[pos + i] = s[i];
+    }
+  }
+  return pos + len;
+}
+
+size_t AppendStr(char* buf, size_t cap, size_t pos, const char* s) {
+  return AppendRaw(buf, cap, pos, s, std::strlen(s));
+}
+
+size_t AppendUint(char* buf, size_t cap, size_t pos, uint64_t v) {
+  char digits[20];
+  size_t n = 0;
+  do {
+    digits[n++] = static_cast<char>('0' + v % 10);
+    v /= 10;
+  } while (v != 0);
+  while (n > 0) {
+    --n;
+    if (pos < cap) {
+      buf[pos] = digits[n];
+    }
+    ++pos;
+  }
+  return pos;
+}
+
+size_t AppendInt(char* buf, size_t cap, size_t pos, int64_t v) {
+  if (v < 0) {
+    pos = AppendRaw(buf, cap, pos, "-", 1);
+    return AppendUint(buf, cap, pos, static_cast<uint64_t>(-(v + 1)) + 1);
+  }
+  return AppendUint(buf, cap, pos, static_cast<uint64_t>(v));
+}
+
+size_t AppendKeyInt(char* buf, size_t cap, size_t pos, const char* key, int64_t v) {
+  pos = AppendStr(buf, cap, pos, ",\"");
+  pos = AppendStr(buf, cap, pos, key);
+  pos = AppendStr(buf, cap, pos, "\":");
+  return AppendInt(buf, cap, pos, v);
+}
+
+size_t AppendKeyUint(char* buf, size_t cap, size_t pos, const char* key, uint64_t v) {
+  pos = AppendStr(buf, cap, pos, ",\"");
+  pos = AppendStr(buf, cap, pos, key);
+  pos = AppendStr(buf, cap, pos, "\":");
+  return AppendUint(buf, cap, pos, v);
+}
+
+}  // namespace
+
+size_t EncodeTraceEventLine(const TraceEvent& e, char* buf, size_t cap) {
+  size_t pos = 0;
+  pos = AppendStr(buf, cap, pos, "{\"t\":");
+  pos = AppendInt(buf, cap, pos, e.at.nanos());
+  pos = AppendStr(buf, cap, pos, ",\"ev\":\"");
+  pos = AppendStr(buf, cap, pos, TraceEventTypeName(e.type));
+  pos = AppendStr(buf, cap, pos, "\"");
+  pos = AppendKeyInt(buf, cap, pos, "node", e.node);
+  pos = AppendKeyInt(buf, cap, pos, "port", e.port);
+  pos = AppendKeyUint(buf, cap, pos, "uid", e.uid);
+  pos = AppendKeyUint(buf, cap, pos, "flow", e.flow);
+  pos = AppendKeyInt(buf, cap, pos, "src", e.src);
+  pos = AppendKeyInt(buf, cap, pos, "dst", e.dst);
+  pos = AppendKeyUint(buf, cap, pos, "seq", e.seq);
+  pos = AppendKeyUint(buf, cap, pos, "ack", e.is_ack ? 1 : 0);
+  pos = AppendKeyUint(buf, cap, pos, "ttl", e.ttl);
+  pos = AppendKeyUint(buf, cap, pos, "tc", e.tclass);
+  pos = AppendKeyUint(buf, cap, pos, "det", e.detour_count);
+  pos = AppendKeyInt(buf, cap, pos, "depth", e.queue_depth);
+  pos = AppendStr(buf, cap, pos, ",\"reason\":\"");
+  if (e.type == TraceEventType::kDrop) {
+    pos = AppendStr(buf, cap, pos, TraceDropReasonName(e.drop_reason));
+  }
+  pos = AppendStr(buf, cap, pos, "\"}\n");
+  if (pos > cap) {
+    pos = cap;
+  }
+  if (pos > 0) {
+    buf[pos - 1] = '\n';
+  }
+  return pos;
+}
+
+std::string EncodeTraceEvent(const TraceEvent& e) {
+  char buf[kMaxTraceLineBytes];
+  const size_t n = EncodeTraceEventLine(e, buf, sizeof buf);
+  return std::string(buf, n > 0 ? n - 1 : 0);  // strip the newline
+}
+
+namespace {
+
+void SkipSpace(const char*& p) {
+  while (*p == ' ' || *p == '\t' || *p == '\r' || *p == '\n') {
+    ++p;
+  }
+}
+
+bool ParseQuoted(const char*& p, std::string* out) {
+  if (*p != '"') {
+    return false;
+  }
+  ++p;
+  out->clear();
+  while (*p != '"') {
+    if (*p == '\0' || *p == '\\') {
+      return false;  // encoded strings never contain escapes
+    }
+    out->push_back(*p++);
+  }
+  ++p;
+  return true;
+}
+
+bool ParseInt(const char*& p, int64_t* out) {
+  bool neg = false;
+  if (*p == '-') {
+    neg = true;
+    ++p;
+  }
+  if (*p < '0' || *p > '9') {
+    return false;
+  }
+  uint64_t v = 0;
+  while (*p >= '0' && *p <= '9') {
+    v = v * 10 + static_cast<uint64_t>(*p - '0');
+    ++p;
+  }
+  *out = neg ? -static_cast<int64_t>(v) : static_cast<int64_t>(v);
+  return true;
+}
+
+bool EventTypeFromName(const std::string& name, TraceEventType* out) {
+  for (size_t i = 0; i < kNumTraceEventTypes; ++i) {
+    const TraceEventType t = static_cast<TraceEventType>(i);
+    if (name == TraceEventTypeName(t)) {
+      *out = t;
+      return true;
+    }
+  }
+  return false;
+}
+
+uint8_t DropReasonFromName(const std::string& name) {
+  for (size_t i = 0; i < kNumDropReasons; ++i) {
+    if (name == DropReasonName(static_cast<DropReason>(i))) {
+      return static_cast<uint8_t>(i);
+    }
+  }
+  return kTraceEvictionReason;  // "pfabric-eviction" (or unknown) maps here
+}
+
+}  // namespace
+
+bool DecodeTraceEvent(const std::string& line, TraceEvent* out) {
+  *out = TraceEvent{};
+  const char* p = line.c_str();
+  SkipSpace(p);
+  if (*p != '{') {
+    return false;
+  }
+  ++p;
+  std::string key;
+  std::string sval;
+  bool first = true;
+  for (;;) {
+    SkipSpace(p);
+    if (*p == '}') {
+      ++p;
+      break;
+    }
+    if (!first) {
+      if (*p != ',') {
+        return false;
+      }
+      ++p;
+      SkipSpace(p);
+    }
+    first = false;
+    if (!ParseQuoted(p, &key)) {
+      return false;
+    }
+    SkipSpace(p);
+    if (*p != ':') {
+      return false;
+    }
+    ++p;
+    SkipSpace(p);
+    if (*p == '"') {
+      if (!ParseQuoted(p, &sval)) {
+        return false;
+      }
+      if (key == "ev") {
+        if (!EventTypeFromName(sval, &out->type)) {
+          return false;
+        }
+      } else if (key == "reason" && !sval.empty()) {
+        out->drop_reason = DropReasonFromName(sval);
+      }
+      continue;
+    }
+    int64_t v = 0;
+    if (!ParseInt(p, &v)) {
+      return false;
+    }
+    if (key == "t") {
+      out->at = Time::Nanos(v);
+    } else if (key == "node") {
+      out->node = static_cast<int32_t>(v);
+    } else if (key == "port") {
+      out->port = static_cast<int32_t>(v);
+    } else if (key == "uid") {
+      out->uid = static_cast<uint64_t>(v);
+    } else if (key == "flow") {
+      out->flow = static_cast<FlowId>(v);
+    } else if (key == "src") {
+      out->src = static_cast<HostId>(v);
+    } else if (key == "dst") {
+      out->dst = static_cast<HostId>(v);
+    } else if (key == "seq") {
+      out->seq = static_cast<uint32_t>(v);
+    } else if (key == "ack") {
+      out->is_ack = v != 0;
+    } else if (key == "ttl") {
+      out->ttl = static_cast<uint8_t>(v);
+    } else if (key == "tc") {
+      out->tclass = static_cast<uint8_t>(v);
+    } else if (key == "det") {
+      out->detour_count = static_cast<uint16_t>(v);
+    } else if (key == "depth") {
+      out->queue_depth = static_cast<int32_t>(v);
+    }
+  }
+  SkipSpace(p);
+  return *p == '\0';
+}
+
+}  // namespace dibs

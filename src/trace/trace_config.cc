@@ -1,0 +1,98 @@
+#include "src/trace/trace_config.h"
+
+#include <cstdlib>
+
+namespace dibs {
+namespace {
+
+const char* Env(const char* name) {
+  const char* v = std::getenv(name);
+  return (v != nullptr && v[0] != '\0') ? v : nullptr;
+}
+
+bool EnvFlag(const char* name, bool fallback) {
+  const char* v = Env(name);
+  if (v == nullptr) {
+    return fallback;
+  }
+  return !(v[0] == '0' && v[1] == '\0');
+}
+
+template <typename Int>
+std::vector<Int> ParseIdList(const char* s) {
+  std::vector<Int> out;
+  long long cur = 0;
+  bool have = false;
+  for (; ; ++s) {
+    if (*s >= '0' && *s <= '9') {
+      cur = cur * 10 + (*s - '0');
+      have = true;
+    } else {
+      if (have) {
+        out.push_back(static_cast<Int>(cur));
+      }
+      cur = 0;
+      have = false;
+      if (*s == '\0') {
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+TraceConfig ApplyTraceEnv(const TraceConfig& base) {
+  TraceConfig cfg = base;
+  if (const char* v = Env("DIBS_TRACE")) {
+    cfg.enabled = !(v[0] == '0' && v[1] == '\0');
+  }
+  if (const char* v = Env("DIBS_TRACE_JSONL")) {
+    cfg.jsonl_path = v;
+    cfg.enabled = true;
+  }
+  if (const char* v = Env("DIBS_TRACE_PERFETTO")) {
+    cfg.perfetto_path = v;
+    cfg.enabled = true;
+  }
+  if (const char* v = Env("DIBS_TRACE_NODES")) {
+    cfg.filter.nodes = ParseIdList<int32_t>(v);
+  }
+  if (const char* v = Env("DIBS_TRACE_FLOWS")) {
+    cfg.filter.flows = ParseIdList<FlowId>(v);
+  }
+  if (const char* v = Env("DIBS_TRACE_CLASS")) {
+    cfg.filter.tclass = std::atoi(v);
+  }
+  if (const char* v = Env("DIBS_TRACE_SAMPLE")) {
+    cfg.filter.sample = std::atof(v);
+  }
+  if (const char* v = Env("DIBS_TRACE_RING")) {
+    const long n = std::atol(v);
+    if (n > 0) {
+      cfg.ring_capacity = static_cast<size_t>(n);
+    }
+  }
+  cfg.dump_at_end = EnvFlag("DIBS_TRACE_DUMP", cfg.dump_at_end);
+  if (const char* v = Env("DIBS_TRACE_DUMP_PATH")) {
+    cfg.dump_path = v;
+  }
+  cfg.filter.Normalize();  // env lists arrive in arbitrary order
+  return cfg;
+}
+
+std::string PerRunTracePath(const std::string& base, int run_index) {
+  if (base.empty() || run_index < 0) {
+    return base;
+  }
+  const std::string tag = ".run" + std::to_string(run_index);
+  const size_t dot = base.find_last_of('.');
+  const size_t slash = base.find_last_of('/');
+  if (dot == std::string::npos || (slash != std::string::npos && dot < slash)) {
+    return base + tag;
+  }
+  return base.substr(0, dot) + tag + base.substr(dot);
+}
+
+}  // namespace dibs

@@ -1,0 +1,24 @@
+// Sink interface for the trace bus: sinks receive every event that survives
+// filtering, in simulation-time order (the simulator is single-threaded per
+// run, so no locking is needed inside a sink).
+
+#ifndef SRC_TRACE_TRACE_SINK_H_
+#define SRC_TRACE_TRACE_SINK_H_
+
+#include "src/trace/trace_event.h"
+
+namespace dibs {
+
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+
+  virtual void OnEvent(const TraceEvent& e) = 0;
+
+  // Called once when the run ends; streaming sinks flush here.
+  virtual void Finish() {}
+};
+
+}  // namespace dibs
+
+#endif  // SRC_TRACE_TRACE_SINK_H_

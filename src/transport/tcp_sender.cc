@@ -65,12 +65,10 @@ void TcpSender::SendSegment(uint32_t seq, bool is_retransmit) {
   p.seq = seq;
   p.fin = seq == total_segments_ - 1;
   p.sent_time = network_->sim().Now();
-  if (network_->config().trace_packets) {
-    p.trace = std::make_shared<std::vector<PathHop>>();
-  }
   if (is_retransmit) {
     ++retransmits_;
     was_retransmitted_[seq] = true;
+    network_->TraceTransportEvent(TraceEventType::kTcpRetransmit, spec_.src, spec_.id, seq);
   } else {
     first_sent_[seq] = p.sent_time;
   }
@@ -113,6 +111,7 @@ void TcpSender::OnRtoTimeout() {
   }
   ++timeouts_;
   ++rto_backoff_;
+  network_->TraceTransportEvent(TraceEventType::kTcpTimeout, spec_.src, spec_.id, snd_una_);
   EnterLossRecovery(/*timeout=*/true);
   SendSegment(snd_una_, /*is_retransmit=*/true);
   ArmRtoTimer();

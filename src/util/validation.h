@@ -6,8 +6,8 @@
 // InvariantChecker (src/device/invariant_checker.h) that keeps a
 // packet-conservation ledger. A violated invariant throws ValidationError
 // with a structured diagnostic (invariant name + detail, including the
-// packet's path trace when one is attached) instead of aborting, so the sweep
-// engine can report it as a failed run and tests can assert on it.
+// involved packet's description when one is attached) instead of aborting, so
+// the sweep engine can report it as a failed run and tests can assert on it.
 //
 // Enabling: set DIBS_VALIDATE=1 in the environment (any value except "0"),
 // or call validate::SetEnabled(true) programmatically. The flag is read once

@@ -6,6 +6,8 @@
 #include "src/device/network.h"
 #include "src/stats/detour_recorder.h"
 #include "src/topo/builders.h"
+#include "src/trace/journey.h"
+#include "src/trace/trace_bus.h"
 
 namespace dibs {
 namespace {
@@ -176,19 +178,16 @@ TEST(SwitchTest, DetourCountsRecordedOnPackets) {
   EXPECT_GT(max_detours, 0u);
 }
 
-TEST(SwitchTest, PathTraceRecordsDetourHops) {
+TEST(SwitchTest, JourneyRecordsDetourHops) {
   NetworkConfig cfg;
   cfg.switch_buffer_packets = 1;
   cfg.detour_policy = "random";
-  cfg.trace_packets = true;  // enabled network-wide, but trace set per packet
   Simulator sim(13);
   Network net(&sim, BuildPaperFatTree(), cfg);
-  std::shared_ptr<std::vector<PathHop>> trace;
-  net.host(0).RegisterFlowReceiver(1, [&](Packet&& p) {
-    if (p.detour_count > 0 && trace == nullptr) {
-      trace = p.trace;
-    }
-  });
+  TraceBus bus;
+  JourneyBuilder journeys;
+  bus.AddSink(&journeys);
+  net.AttachTraceBus(&bus);
   for (int s = 1; s <= 8; ++s) {
     for (int i = 0; i < 10; ++i) {
       Packet p;
@@ -198,20 +197,27 @@ TEST(SwitchTest, PathTraceRecordsDetourHops) {
       p.size_bytes = 1500;
       p.ttl = 255;
       p.flow = static_cast<FlowId>(s);
-      p.trace = std::make_shared<std::vector<PathHop>>();
       net.host(static_cast<HostId>(s)).Send(std::move(p));
     }
   }
   sim.Run();
-  ASSERT_NE(trace, nullptr);
+  // At least one delivered packet was detoured, and its reconstructed
+  // journey shows the detoured hop with non-decreasing hop times.
+  const PacketJourney* detoured = nullptr;
+  for (const auto& [uid, j] : journeys.journeys()) {
+    if (j.delivered && j.detour_count > 0) {
+      detoured = &j;
+      break;
+    }
+  }
+  ASSERT_NE(detoured, nullptr);
   bool any_detoured_hop = false;
-  for (const PathHop& hop : *trace) {
+  for (const JourneyHop& hop : detoured->hops) {
     any_detoured_hop |= hop.detoured;
   }
   EXPECT_TRUE(any_detoured_hop);
-  // Hop times are non-decreasing.
-  for (size_t i = 1; i < trace->size(); ++i) {
-    EXPECT_GE((*trace)[i].at, (*trace)[i - 1].at);
+  for (size_t i = 1; i < detoured->hops.size(); ++i) {
+    EXPECT_GE(detoured->hops[i].enqueue_at, detoured->hops[i - 1].enqueue_at);
   }
 }
 

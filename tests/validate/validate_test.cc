@@ -152,17 +152,15 @@ TEST(ValidateFaultInjection, DeliveryThroughDownPortIsCaught) {
   EXPECT_NE(e.detail().find("down"), std::string::npos) << e.what();
 }
 
-// The diagnostic carries the packet's path trace when tracing is attached,
-// so a violation report shows where the packet has been.
-TEST(ValidateDiagnostics, DescriptionIncludesPathTrace) {
+// The diagnostic identifies the packet by uid — the key that looks up its
+// full path in a flight-recorder dump (per-packet path traces now live in
+// src/trace, not on the Packet).
+TEST(ValidateDiagnostics, DescriptionIdentifiesPacketByUid) {
   Packet p = MakePacket(11);
-  p.trace = std::make_shared<std::vector<PathHop>>();
-  p.RecordHop(/*node=*/20, Time::Micros(3), /*detoured=*/false);
-  p.RecordHop(/*node=*/21, Time::Micros(5), /*detoured=*/true);
+  p.detour_count = 3;
   const std::string desc = DescribePacket(p);
-  EXPECT_NE(desc.find("path=["), std::string::npos) << desc;
-  EXPECT_NE(desc.find("20@"), std::string::npos) << desc;
   EXPECT_NE(desc.find("uid=11"), std::string::npos) << desc;
+  EXPECT_NE(desc.find("detours=3"), std::string::npos) << desc;
 }
 
 // pFabric destroys packets internally on overflow; the eviction handler is
