@@ -1,25 +1,33 @@
 #!/usr/bin/env bash
 # CI entry point. Stages, in order:
 #
-#   1. determinism lint   — tools/determinism_lint.py bans rand()/
-#                           random_device/wall-clock/unordered-iteration on
-#                           the simulation path.
+#   1. determinism lint   — tools/determinism_lint.py, the fast textual
+#                           pre-pass banning rand()/random_device/wall-clock
+#                           on the simulation path.
 #   2. format check       — clang-format --dry-run over the tree (skipped
 #                           when clang-format is not installed).
 #   3. tier-1             — default build + full ctest suite.
 #   4. clang-tidy         — `tidy` target over src/ using the tier-1 build's
 #                           compile_commands.json (skips itself when
 #                           clang-tidy is not installed).
-#   5. asan+ubsan         — full ctest suite under ASan+UBSan with
+#   5. analyze            — dibs-analyzer (tools/analyzer/): libclang
+#                           semantic lint over src/ (determinism-ast,
+#                           pointer-key-order, observer-purity,
+#                           signal-safety) against the tier-1 build's
+#                           compile_commands.json. Fails on any finding not
+#                           in tools/analyzer/baseline.json; prints a skip
+#                           message where the python libclang bindings are
+#                           not installed.
+#   6. asan+ubsan         — full ctest suite under ASan+UBSan with
 #                           DIBS_VALIDATE=1, so every scenario test also
 #                           runs the invariant checker and its conservation
 #                           ledger must balance.
-#   6. fig11 smoke        — the incast-degree figure bench end-to-end with
+#   7. fig11 smoke        — the incast-degree figure bench end-to-end with
 #                           DIBS_VALIDATE=1 and DIBS_REQUIRE_OK=1 (any run
 #                           a validation throw fails is fatal), on the
 #                           tier-1 build tree.
-#   7. trace smoke        — fig11 again with DIBS_TRACE=1: tables must be
-#                           byte-identical to the untraced stage-6 run, every
+#   8. trace smoke        — fig11 again with DIBS_TRACE=1: tables must be
+#                           byte-identical to the untraced stage-7 run, every
 #                           per-run trace JSONL must pass `trace_tool
 #                           summarize`, the Perfetto export must be valid
 #                           JSON, and the same traced bench must run clean
@@ -31,23 +39,23 @@
 #                           within 2% of the per-machine ratcheted baseline
 #                           cached in the build tree
 #                           (tools/check_trace_overhead.py).
-#   8. resilience smoke   — the fault-injection bench under ASan+UBSan with
+#   9. resilience smoke   — the fault-injection bench under ASan+UBSan with
 #                           DIBS_VALIDATE=1 (the conservation ledger must
 #                           balance through link flaps, lossy links, and a
 #                           ToR crash), run twice — DIBS_JOBS=1 then
 #                           DIBS_JOBS=8 — and diffed: tables byte-identical,
 #                           JSONL identical modulo host-side wall-clock
 #                           metadata (wall_ms / events_per_sec).
-#   9. crash-resume       — kills (SIGKILL) the resilience bench mid-sweep,
+#  10. crash-resume      — kills (SIGKILL) the resilience bench mid-sweep,
 #                           resumes it from its run journal (DIBS_RESUME=1),
 #                           and byte-diffs the resumed tables/JSONL against
 #                           an uninterrupted run at DIBS_JOBS=1 and 8 — the
 #                           acceptance bar for journal-backed resume. The
 #                           crash/hang injection hooks behind the same
 #                           machinery (DIBS_TEST_CRASH_RUN, DIBS_ISOLATE)
-#                           are exercised by tests/exp under stage 5's
+#                           are exercised by tests/exp under stage 6's
 #                           ASan+UBSan config.
-#  10. tsan               — sweep engine under ThreadSanitizer (tests/exp)
+#  11. tsan              — sweep engine under ThreadSanitizer (tests/exp)
 #                           so data races in the threaded layer fail the
 #                           pipeline.
 #
@@ -78,6 +86,12 @@ ctest --test-dir build --output-on-failure -j"$JOBS"
 
 echo "== tidy: clang-tidy over src/ =="
 cmake --build build --target tidy
+
+echo "== analyze: dibs-analyzer semantic lint over src/ =="
+# Fails on any finding not grandfathered in tools/analyzer/baseline.json;
+# self-degrades with a skip message where libclang is unavailable.
+python3 tools/analyzer/dibs_analyzer.py \
+  --compile-commands build/compile_commands.json
 
 echo "== asan+ubsan: full test suite with DIBS_VALIDATE=1 =="
 cmake -B build-asan -S . -DDIBS_SANITIZE=address,undefined >/dev/null

@@ -140,7 +140,9 @@ void InvariantChecker::CheckQuiescent() const {
   // Leak: some injected packets never reached a terminal state. Report the
   // lowest leaked uids (sorted, so the diagnostic is deterministic).
   std::vector<uint64_t> leaked;
-  for (const auto& [uid, state] : ledger_) {  // lint:allow(unordered-iter)
+  // Unordered iteration is safe here: the fold only builds `leaked`, which is
+  // sorted before anything order-sensitive (the diagnostic) consumes it.
+  for (const auto& [uid, state] : ledger_) {  // lint:allow(determinism-ast)
     if (state.terminal == Terminal::kInFlight) {
       leaked.push_back(uid);
     }

@@ -149,9 +149,19 @@ HostNode& Network::host(HostId h) {
   return *static_cast<HostNode*>(nodes_[static_cast<size_t>(node_id)].get());
 }
 
+const HostNode& Network::host(HostId h) const {
+  const int node_id = topo_.host_node(h);
+  return *static_cast<const HostNode*>(nodes_[static_cast<size_t>(node_id)].get());
+}
+
 SwitchNode& Network::switch_at(int node_id) {
   DIBS_DCHECK(IsSwitchNode(node_id));
   return *static_cast<SwitchNode*>(nodes_[static_cast<size_t>(node_id)].get());
+}
+
+const SwitchNode& Network::switch_at(int node_id) const {
+  DIBS_DCHECK(IsSwitchNode(node_id));
+  return *static_cast<const SwitchNode*>(nodes_[static_cast<size_t>(node_id)].get());
 }
 
 void Network::NotifyHostSend(HostId host, const Packet& p) {

@@ -77,14 +77,20 @@ class Network {
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
 
+  // Const overloads exist so read-only code — observers and trace sinks in
+  // particular, which the observer-purity analyzer rule holds to a no-
+  // mutation contract — can go through `const Network&` end to end.
   Simulator& sim() { return *sim_; }
+  const Simulator& sim() const { return *sim_; }
   const Topology& topology() const { return topo_; }
   const Fib& fib() const { return fib_; }
   const NetworkConfig& config() const { return config_; }
   DetourPolicy& detour_policy() { return *policy_; }
 
   HostNode& host(HostId h);
+  const HostNode& host(HostId h) const;
   SwitchNode& switch_at(int node_id);  // node_id must be a switch node
+  const SwitchNode& switch_at(int node_id) const;
   bool IsSwitchNode(int node_id) const { return IsSwitchKind(topo_.node(node_id).kind); }
 
   int num_hosts() const { return topo_.num_hosts(); }

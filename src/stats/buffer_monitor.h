@@ -69,6 +69,11 @@ class BufferMonitor : public NetworkObserver {
   void Sample();
   double FreeFraction(const std::vector<int>& switches) const;
 
+  // All observation goes through the const view: the only non-const use of
+  // network_ outside the constructor is re-arming the sampling timer, which
+  // carries an explicit lint:allow(observer-purity).
+  const Network& net() const { return *network_; }
+
   void RecordDepth(int node, uint16_t port, size_t queue_depth) {
     std::vector<size_t>& depths = depths_[static_cast<size_t>(node)];
     if (port < depths.size()) {
@@ -83,7 +88,7 @@ class BufferMonitor : public NetworkObserver {
   std::vector<std::vector<size_t>> depths_;
   // Precomputed switch neighborhoods. Ordered map: emission paths walk these
   // keyed off switch_ids(), and an ordered container keeps any future
-  // iteration deterministic (determinism lint: unordered-iter ban).
+  // iteration deterministic (analyzer rule: determinism-ast).
   std::map<int, std::vector<int>> one_hop_;
   std::map<int, std::vector<int>> two_hop_;
 

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Validates that every dibs-analyzer fixture is real, compilable C++ — so a
+# fixture that rots does not silently turn the libclang fixture suite (which
+# skips where libclang is absent) into a no-op. Runs everywhere g++ exists.
+set -u
+here="$(cd "$(dirname "$0")" && pwd)"
+cxx="${CXX:-g++}"
+status=0
+for f in "$here"/fixtures/*.cc; do
+  if "$cxx" -std=c++20 -fsyntax-only -Wall -Wextra "$f"; then
+    echo "ok: $(basename "$f")"
+  else
+    echo "FAIL: $(basename "$f")"
+    status=1
+  fi
+done
+exit $status

@@ -1,0 +1,49 @@
+// dibs-analyzer fixture: every marked line must fire [determinism-ast].
+// The point of the AST rule (vs the retired regex lint) is seeing through
+// sugar: typedefs, `auto`, and member types all resolve to canonical types.
+
+#include <chrono>
+#include <cstdlib>
+#include <random>
+#include <unordered_map>
+
+namespace fixture {
+
+using Table = std::unordered_map<int, double>;  // sugar: alias hides the type
+
+struct Holder {
+  Table table;
+};
+
+double IterateThroughAlias(const Table& t) {
+  double sum = 0;
+  for (const auto& [key, value] : t) {  // expect(determinism-ast)
+    sum += value + key;
+  }
+  return sum;
+}
+
+double IterateThroughAuto(Holder& h) {
+  auto& t = h.table;  // sugar: auto hides the type
+  double sum = 0;
+  for (auto it = t.begin(); it != t.end(); ++it) {  // expect(determinism-ast)
+    sum += it->second;
+  }
+  return sum;
+}
+
+unsigned HardwareEntropy() {
+  std::random_device rd;  // expect(determinism-ast)
+  return rd();
+}
+
+int LibcRand() {
+  return std::rand();  // expect(determinism-ast)
+}
+
+long WallClock() {
+  auto now = std::chrono::steady_clock::now();  // expect(determinism-ast)
+  return now.time_since_epoch().count();
+}
+
+}  // namespace fixture

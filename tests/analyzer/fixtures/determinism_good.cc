@@ -1,0 +1,51 @@
+// dibs-analyzer fixture: nothing here may fire [determinism-ast], except the
+// one deliberately violating line below, which carries a lint:allow escape —
+// the runner asserts it shows up as *suppressed*, proving the rule saw it.
+
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+namespace fixture {
+
+// A dibs::Rng-shaped deterministic generator: fine.
+struct Rng {
+  unsigned long long state;
+  unsigned Next() {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    return static_cast<unsigned>(state >> 33);
+  }
+};
+
+double IterateOrdered(const std::map<int, double>& m) {
+  double sum = 0;
+  for (const auto& [key, value] : m) {  // ordered container: deterministic
+    sum += value + key;
+  }
+  return sum;
+}
+
+double IterateVector(const std::vector<double>& v) {
+  double sum = 0;
+  for (double x : v) {
+    sum += x;
+  }
+  return sum;
+}
+
+// Point lookups into unordered containers are fine — only iteration is
+// order-sensitive.
+double Lookup(const std::unordered_map<int, double>& t, int key) {
+  auto it = t.find(key);
+  return it == t.end() ? 0.0 : it->second;
+}
+
+std::size_t EscapeHatch(const std::unordered_map<int, double>& t) {
+  std::size_t n = 0;
+  for (const auto& kv : t) {  // lint:allow(determinism-ast)
+    n += kv.first != 0 ? 1u : 0u;
+  }
+  return n;
+}
+
+}  // namespace fixture

@@ -1,0 +1,29 @@
+// dibs-analyzer fixture: every marked line must fire [pointer-key-order].
+// Ordered associative containers keyed by pointers iterate in address order,
+// which varies run to run — poison for bit-identical replay.
+
+#include <cstdint>
+#include <map>
+#include <set>
+
+namespace fixture {
+
+struct Node {
+  std::uint64_t id;
+};
+
+using PortMap = std::map<Node*, int>;  // alias: canonical key is still Node*
+
+struct Registry {
+  std::map<const Node*, double> weights;  // expect(pointer-key-order)
+  PortMap ports;                          // expect(pointer-key-order)
+};
+
+int CountLocal() {
+  std::set<const Node*> seen;  // expect(pointer-key-order)
+  return static_cast<int>(seen.size());
+}
+
+std::multiset<Node*> g_pending;  // expect(pointer-key-order)
+
+}  // namespace fixture

@@ -1,0 +1,31 @@
+// dibs-analyzer fixture: nothing here may fire [pointer-key-order], except
+// the one deliberately violating line below, suppressed by lint:allow — the
+// runner asserts it shows up as *suppressed*, proving the rule saw it.
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+namespace fixture {
+
+struct Node {
+  std::uint64_t id;
+};
+
+struct Registry {
+  std::map<std::uint64_t, Node*> by_id;     // pointer VALUES are fine
+  std::set<std::uint64_t> ids;              // stable ids as keys: fine
+  std::unordered_map<Node*, int> lookup;    // unordered: point lookups only,
+                                            // iteration is determinism-ast's
+                                            // concern, not this rule's
+  std::vector<Node*> insertion_order;       // sequence containers: fine
+};
+
+int EscapeHatch() {
+  std::set<Node*> scratch;  // lint:allow(pointer-key-order)
+  return static_cast<int>(scratch.size());
+}
+
+}  // namespace fixture

@@ -1,0 +1,57 @@
+// dibs-analyzer fixture: every marked line must fire [signal-safety].
+// Covers both registration paths (std::signal and sigaction's sa_handler
+// field) plus the configured dibs::FlightRecorder::DumpToFd root.
+
+#include <csignal>
+#include <cstdio>
+
+namespace fixture {
+
+int* g_scratch = nullptr;
+
+// Reached only from CrashHandler below: the finding lands at the unsafe
+// call site inside this repo-local helper.
+void LogCrash(int sig) {
+  std::fprintf(stderr, "crash: %d\n", sig);  // expect(signal-safety)
+}
+
+void CrashHandler(int sig) {
+  g_scratch = new int[16];  // expect(signal-safety)
+  LogCrash(sig);            // indirect: flagged inside LogCrash, not here
+}
+
+void ThrowingHandler(int sig) {
+  if (sig != 0) {
+    throw sig;  // expect(signal-safety)
+  }
+}
+
+void InstallBad() {
+  std::signal(SIGSEGV, CrashHandler);
+}
+
+void InstallBadSigaction() {
+  struct sigaction sa {};
+  sa.sa_handler = &ThrowingHandler;
+  sigaction(SIGTERM, &sa, nullptr);
+}
+
+}  // namespace fixture
+
+namespace dibs {
+
+// Mirror of the real flight recorder's dump entry point, which the rule
+// treats as a signal-safety root by qualified name (the crash handler in
+// src/trace/flight_recorder.cc drives it).
+class FlightRecorder {
+ public:
+  void DumpToFd(int fd) {
+    buf_ = new char[256];                      // expect(signal-safety)
+    std::snprintf(buf_, 256, "fd=%d", fd);     // expect(signal-safety)
+  }
+
+ private:
+  char* buf_ = nullptr;
+};
+
+}  // namespace dibs

@@ -1,0 +1,53 @@
+// dibs-analyzer fixture: nothing here may fire [signal-safety], except the
+// one deliberately violating line below, suppressed by lint:allow — the
+// runner asserts it shows up as *suppressed*, proving the rule saw it.
+//
+// All fixtures are merged into one model and USRs are signature-based, so
+// names here deliberately avoid colliding with signal_safety_bad.cc (its
+// definitions would win the merge and this file would be tested vacuously);
+// that is also why DumpToFd takes an extra parameter.
+
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <unistd.h>
+
+namespace fixture {
+
+volatile std::sig_atomic_t g_flag = 0;
+
+void QuietHandler(int sig) {
+  g_flag = sig;
+  const char msg[] = "dibs: fatal signal\n";
+  write(2, msg, sizeof msg - 1);  // async-signal-safe
+  raise(sig);                     // async-signal-safe
+}
+
+void InstallGood() {
+  std::signal(SIGINT, QuietHandler);
+}
+
+void ChattyHandler(int sig) {
+  std::fprintf(stderr, "sig %d\n", sig);  // lint:allow(signal-safety)
+  _exit(1);
+}
+
+void InstallGoodSigaction() {
+  struct sigaction sa {};
+  sa.sa_handler = &ChattyHandler;
+  sigaction(SIGQUIT, &sa, nullptr);
+}
+
+}  // namespace fixture
+
+namespace dibs {
+
+class FlightRecorder {
+ public:
+  void DumpToFd(int fd, int /*flags*/) {
+    const char* line = "trace-event\n";
+    write(fd, line, strlen(line));  // both async-signal-safe
+  }
+};
+
+}  // namespace dibs

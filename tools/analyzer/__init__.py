@@ -1,0 +1,3 @@
+# dibs-analyzer: compile-commands-driven semantic lint suite for the DIBS
+# simulator. See dibs_analyzer.py for the CLI and rules.py for the rule
+# catalog.

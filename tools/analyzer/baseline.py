@@ -1,0 +1,75 @@
+"""Baseline (grandfathered findings) support for dibs-analyzer.
+
+A baseline entry identifies a finding by (rule, file, context), where
+`context` is the masked source text of the flagged line with whitespace
+collapsed — content-addressed so entries survive unrelated line drift. The
+checked-in baseline lives at tools/analyzer/baseline.json; the analyze CI
+stage fails on any finding not in it, and `--update-baseline` rewrites it.
+Keep the baseline empty (or justified entry by entry): the satellite policy
+is fix, don't baseline.
+"""
+
+import json
+import re
+
+BASELINE_VERSION = 1
+
+
+def context_of(scanned, line):
+    """Whitespace-collapsed masked code text for a 1-based line."""
+    return re.sub(r"\s+", " ", scanned.code(line)).strip()
+
+
+def load(path):
+    """Returns dict[(rule, file, context) -> count]. Missing file = empty."""
+    try:
+        with open(path, encoding="utf-8") as f:
+            data = json.load(f)
+    except FileNotFoundError:
+        return {}
+    entries = {}
+    for e in data.get("findings", []):
+        key = (e["rule"], e["file"], e.get("context", ""))
+        entries[key] = entries.get(key, 0) + 1
+    return entries
+
+
+def save(path, findings, contexts):
+    """Writes `findings` (list[Finding]) with their line contexts."""
+    out = {
+        "version": BASELINE_VERSION,
+        "findings": [
+            {
+                "rule": f.rule,
+                "file": f.file,
+                "context": contexts.get((f.file, f.line), ""),
+                "symbol": f.symbol,
+                "message": f.message,
+            }
+            for f in findings
+        ],
+    }
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump(out, f, indent=2, sort_keys=True)
+        f.write("\n")
+
+
+def apply(findings, baseline, contexts):
+    """Splits findings into (new, baselined) against multiset `baseline`.
+
+    `contexts` maps (file, line) -> context string. Returns
+    (new_findings, baselined_findings, stale_entries) where stale_entries are
+    baseline rows that matched nothing (candidates for deletion).
+    """
+    remaining = dict(baseline)
+    new = []
+    matched = []
+    for f in findings:
+        key = (f.rule, f.file, contexts.get((f.file, f.line), ""))
+        if remaining.get(key, 0) > 0:
+            remaining[key] -= 1
+            matched.append(f)
+        else:
+            new.append(f)
+    stale = [key for key, count in remaining.items() if count > 0]
+    return new, matched, stale

@@ -1,0 +1,363 @@
+"""libclang (clang.cindex) frontend: lowers translation units from a CMake
+compile_commands.json into the frontend-neutral Model that rules.py consumes.
+
+Degrades loudly but gracefully: load_libclang() reports exactly why the
+bindings are unavailable so the driver can print a skip message (the CI image
+installs libclang; dev containers without it fall back to the textual
+pre-pass in tools/determinism_lint.py).
+
+Lowering notes (what the AST walk extracts, per Model field):
+  functions    every function/method DEFINITION (including ones in system
+               headers — signal-safety recurses into header-defined bodies),
+               with call sites, new/delete exprs, and throw exprs collected
+               from the body. Calls are resolved through cursor.referenced,
+               so virtual calls resolve to the statically named method.
+  records      class/struct definitions with direct bases (observer-purity
+               derivation checks).
+  vars         var/field/param declarations inside the analyzed root with
+               CANONICAL types — typedefs, `auto`, and alias templates are
+               already resolved by clang, which is the whole point.
+  iterations   range-for statements (type of the range expression) and
+               explicit .begin()/.cbegin()/.rbegin()/.crbegin() member calls
+               (type of the receiver).
+  handler_regs functions whose address is passed to signal()/sigaction()/
+               bsd_signal()/sigset() or assigned to a .sa_handler /
+               .sa_sigaction field.
+"""
+
+import json
+import os
+import shlex
+
+SIGNAL_REGISTRARS = frozenset({"signal", "sigaction", "bsd_signal", "sigset"})
+SA_HANDLER_FIELDS = frozenset({"sa_handler", "sa_sigaction", "__sigaction_handler"})
+BEGIN_NAMES = frozenset({"begin", "cbegin", "rbegin", "crbegin"})
+
+
+def load_libclang():
+    """Returns (cindex module, None) or (None, human-readable reason)."""
+    try:
+        from clang import cindex
+    except ImportError:
+        return None, ("python module 'clang' (clang.cindex) is not installed "
+                      "(pip install libclang)")
+    try:
+        if not cindex.Config.loaded:
+            lib = os.environ.get("DIBS_LIBCLANG")
+            if lib:
+                cindex.Config.set_library_file(lib)
+        cindex.Index.create()
+    except Exception as e:  # cindex.LibclangError and friends
+        return None, "libclang shared library unavailable: %s" % e
+    return cindex, None
+
+
+def load_compile_commands(path):
+    """Returns list of (source_file_abs, clang_args) from a compilation DB."""
+    with open(path, encoding="utf-8") as f:
+        db = json.load(f)
+    entries = []
+    for entry in db:
+        directory = entry.get("directory", ".")
+        source = entry.get("file", "")
+        if not os.path.isabs(source):
+            source = os.path.join(directory, source)
+        source = os.path.realpath(source)
+        if "arguments" in entry:
+            argv = list(entry["arguments"])
+        else:
+            argv = shlex.split(entry.get("command", ""))
+        args = ["-working-directory=" + directory]
+        skip_next = False
+        for a in argv[1:]:  # drop the compiler executable
+            if skip_next:
+                skip_next = False
+                continue
+            if a in ("-c", "-MMD", "-MD", "-MP"):
+                continue
+            if a in ("-o", "-MF", "-MT", "-MQ"):
+                skip_next = True
+                continue
+            if os.path.realpath(os.path.join(directory, a)) == source:
+                continue
+            args.append(a)
+        entries.append((source, args))
+    return entries
+
+
+class Lowerer:
+    """One Lowerer per TU; lower() returns a Model."""
+
+    def __init__(self, cindex, root):
+        from . import model as model_mod
+        self.cindex = cindex
+        self.model_mod = model_mod
+        self.root = os.path.realpath(root) + os.sep
+        self.model = model_mod.Model()
+        self.K = cindex.CursorKind
+        self.function_kinds = {
+            self.K.FUNCTION_DECL, self.K.CXX_METHOD, self.K.CONSTRUCTOR,
+            self.K.DESTRUCTOR, self.K.FUNCTION_TEMPLATE,
+            self.K.CONVERSION_FUNCTION,
+        }
+        self.record_kinds = {
+            self.K.CLASS_DECL, self.K.STRUCT_DECL, self.K.CLASS_TEMPLATE,
+        }
+        self.var_kinds = {
+            self.K.VAR_DECL: "var",
+            self.K.FIELD_DECL: "field",
+            self.K.PARM_DECL: "param",
+        }
+
+    # -- helpers ----------------------------------------------------------
+
+    def loc_of(self, cursor):
+        loc = cursor.location
+        f = loc.file
+        return self.model_mod.Loc(
+            os.path.realpath(f.name) if f is not None else "",
+            loc.line, loc.column)
+
+    def in_root(self, loc):
+        return loc.file.startswith(self.root)
+
+    def qualified_name(self, cursor):
+        parts = []
+        c = cursor
+        while c is not None and c.kind != self.K.TRANSLATION_UNIT:
+            spelling = c.spelling
+            if spelling:
+                parts.append(spelling)
+            c = c.semantic_parent
+        return "::".join(reversed(parts))
+
+    def class_of(self, cursor):
+        parent = cursor.semantic_parent
+        if parent is not None and parent.kind in self.record_kinds:
+            return self.qualified_name(parent)
+        return ""
+
+    def canonical_type(self, cursor_or_type):
+        try:
+            t = getattr(cursor_or_type, "type", cursor_or_type)
+            return t.get_canonical().spelling
+        except Exception:
+            return ""
+
+    # -- walk -------------------------------------------------------------
+
+    def lower(self, tu):
+        self.visit(tu.cursor, None)
+        return self.model
+
+    def visit(self, cursor, current_fn):
+        for child in cursor.get_children():
+            self.visit_one(child, current_fn)
+
+    def visit_one(self, cursor, current_fn):
+        K = self.K
+        kind = cursor.kind
+        try:
+            if kind in self.function_kinds:
+                self.handle_function(cursor)
+                return
+            if kind in self.record_kinds and cursor.is_definition():
+                self.handle_record(cursor)
+                # fall through: walk members (methods handled above)
+            if kind in self.var_kinds:
+                loc = self.loc_of(cursor)
+                if self.in_root(loc):
+                    self.model.vars.append(self.model_mod.VarInfo(
+                        loc, cursor.spelling,
+                        self.canonical_type(cursor), self.var_kinds[kind]))
+            if current_fn is not None:
+                if kind == K.CALL_EXPR:
+                    self.handle_call(cursor, current_fn)
+                elif kind == K.CXX_NEW_EXPR or kind == K.CXX_DELETE_EXPR:
+                    current_fn.news.append(self.loc_of(cursor))
+                elif kind == K.CXX_THROW_EXPR:
+                    current_fn.throws.append(self.loc_of(cursor))
+                elif kind == K.CXX_FOR_RANGE_STMT:
+                    self.handle_range_for(cursor, current_fn)
+                elif kind == K.BINARY_OPERATOR:
+                    self.maybe_handler_assignment(cursor)
+        except Exception:
+            pass  # a malformed cursor must never kill the whole analysis
+        self.visit(cursor, current_fn)
+
+    def handle_function(self, cursor):
+        K = self.K
+        loc = self.loc_of(cursor)
+        is_def = cursor.is_definition()
+        kind = {K.CONSTRUCTOR: "constructor", K.DESTRUCTOR: "destructor",
+                K.CXX_METHOD: "method"}.get(cursor.kind, "function")
+        is_const = False
+        is_virtual = False
+        if cursor.kind == K.CXX_METHOD:
+            try:
+                is_const = cursor.is_const_method()
+                is_virtual = cursor.is_virtual_method()
+            except Exception:
+                pass
+        fn = self.model_mod.FunctionInfo(
+            usr=cursor.get_usr(), name=cursor.spelling,
+            qualified=self.qualified_name(cursor), loc=loc,
+            class_qualified=self.class_of(cursor), kind=kind,
+            is_const=is_const, is_virtual=is_virtual, is_definition=is_def,
+            in_repo=self.in_root(loc))
+        self.model.add_function(fn)
+        if is_def:
+            # Walk the body attributing calls/news/throws to this function
+            # (lambdas inside attribute to the enclosing function, which is
+            # the right granularity for reachability).
+            self.visit(cursor, self.model.functions[fn.usr])
+        else:
+            self.visit(cursor, None)
+
+    def handle_record(self, cursor):
+        bases = []
+        for child in cursor.get_children():
+            if child.kind == self.K.CXX_BASE_SPECIFIER:
+                base = None
+                try:
+                    decl = child.type.get_canonical().get_declaration()
+                    if decl is not None and decl.spelling:
+                        base = self.qualified_name(decl)
+                except Exception:
+                    pass
+                if not base:
+                    ref = child.referenced
+                    if ref is not None and ref.spelling:
+                        base = self.qualified_name(ref)
+                if base:
+                    bases.append(base)
+        self.model.add_record(self.model_mod.RecordInfo(
+            usr=cursor.get_usr(), qualified=self.qualified_name(cursor),
+            bases=bases))
+
+    def handle_call(self, cursor, current_fn):
+        callee = cursor.referenced
+        if callee is None:
+            return
+        name = callee.spelling
+        qualified = self.qualified_name(callee)
+        callee_class = self.class_of(callee)
+        is_method = callee.kind == self.K.CXX_METHOD
+        is_const = False
+        if is_method:
+            try:
+                is_const = callee.is_const_method()
+            except Exception:
+                pass
+        loc = self.loc_of(cursor)
+        current_fn.calls.append(self.model_mod.CallSite(
+            loc=loc, callee_usr=callee.get_usr(), callee_name=name,
+            callee_qualified=qualified, callee_class=callee_class,
+            callee_is_method=is_method, callee_is_const=is_const))
+
+        if name in BEGIN_NAMES and is_method and self.in_root(loc):
+            receiver = self.receiver_type(cursor)
+            if receiver is None:
+                receiver = "std::" + callee.semantic_parent.spelling + "<...>" \
+                    if callee.semantic_parent is not None else ""
+            if receiver:
+                self.model.iterations.append(self.model_mod.IterationSite(
+                    loc, receiver, form="begin-call"))
+
+        if name in SIGNAL_REGISTRARS and not callee_class:
+            self.register_handlers_from(cursor, skip=callee)
+
+    def receiver_type(self, call_cursor):
+        """Canonical type of a member call's receiver expression, or None."""
+        try:
+            children = list(call_cursor.get_children())
+            if not children:
+                return None
+            member = children[0]
+            if member.kind != self.K.MEMBER_REF_EXPR:
+                return None
+            base = next(iter(member.get_children()), None)
+            if base is None:
+                return None
+            t = self.canonical_type(base)
+            return t or None
+        except Exception:
+            return None
+
+    def register_handlers_from(self, cursor, skip=None):
+        """Every function whose address appears inside `cursor` becomes a
+        signal-safety root (over-approximate on purpose)."""
+        skip_usr = skip.get_usr() if skip is not None else None
+        stack = [cursor]
+        while stack:
+            cur = stack.pop()
+            if cur.kind == self.K.DECL_REF_EXPR:
+                ref = cur.referenced
+                if ref is not None and ref.kind in (
+                        self.K.FUNCTION_DECL, self.K.CXX_METHOD) and \
+                        ref.get_usr() != skip_usr:
+                    self.model.handler_regs.append(self.model_mod.HandlerReg(
+                        self.loc_of(cur), ref.get_usr(),
+                        self.qualified_name(ref)))
+            stack.extend(cur.get_children())
+
+    def maybe_handler_assignment(self, cursor):
+        """sa.sa_handler = &Handler; (and sa_sigaction) registrations."""
+        has_sa_field = False
+        for cur in self.walk_all(cursor):
+            if cur.kind == self.K.MEMBER_REF_EXPR and \
+                    cur.spelling in SA_HANDLER_FIELDS:
+                has_sa_field = True
+                break
+        if has_sa_field:
+            self.register_handlers_from(cursor)
+
+    def walk_all(self, cursor):
+        stack = [cursor]
+        while stack:
+            cur = stack.pop()
+            yield cur
+            stack.extend(cur.get_children())
+
+    def handle_range_for(self, cursor, current_fn):
+        loc = self.loc_of(cursor)
+        if not self.in_root(loc):
+            return
+        children = list(cursor.get_children())
+        if len(children) < 2:
+            return
+        # Children are (modulo clang version): loop-variable decl(s), the
+        # range initializer expression, then the body statement. The loop
+        # variable may be a structured binding (not VAR_DECL), so select by
+        # category: the range initializer is the only expression child.
+        candidates = [c for c in children[:-1] if c.kind.is_expression()]
+        if not candidates:
+            return
+        range_expr = candidates[0]
+        t = self.canonical_type(range_expr)
+        if t:
+            self.model.iterations.append(self.model_mod.IterationSite(
+                loc, t, form="range-for"))
+
+
+def lower_database(cindex, entries, root, on_progress=None, on_error=None):
+    """Parses every (file, args) entry and returns the merged Model plus a
+    list of (file, error) parse problems."""
+    from . import model as model_mod
+    index = cindex.Index.create()
+    merged = model_mod.Model()
+    problems = []
+    for i, (source, args) in enumerate(entries):
+        if on_progress:
+            on_progress(i, len(entries), source)
+        try:
+            tu = index.parse(source, args=args)
+        except Exception as e:
+            problems.append((source, str(e)))
+            continue
+        fatal = [d for d in tu.diagnostics if d.severity >= 4]
+        if fatal:
+            problems.append((source, "; ".join(
+                d.spelling for d in fatal[:3])))
+        merged.merge(Lowerer(cindex, root).lower(tu))
+    return merged, problems

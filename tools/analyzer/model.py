@@ -1,0 +1,127 @@
+"""Frontend-neutral semantic model for the dibs-analyzer rules.
+
+The libclang frontend (frontend.py) lowers each translation unit into a
+Model; models from every TU in the compilation database are merged (keyed by
+clang USRs) so the call-graph rules (observer-purity, signal-safety) see
+cross-TU edges — e.g. the crash handler in flight_recorder.cc reaching the
+encoder defined in trace_codec.cc.
+
+The rules (rules.py) are pure functions over a Model, which keeps them unit-
+testable without libclang: tests/analyzer/test_kernels.py builds Models by
+hand, while tests/analyzer/run_fixture_tests.py (and CI) exercises the same
+rules through the real frontend.
+"""
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Loc:
+    file: str  # absolute, or repo-relative once normalized by the driver
+    line: int
+    col: int = 0
+
+
+@dataclass
+class CallSite:
+    loc: Loc
+    callee_usr: str            # clang USR; stable across TUs
+    callee_name: str           # unqualified spelling, e.g. "Schedule"
+    callee_qualified: str      # e.g. "dibs::Simulator::Schedule"
+    callee_class: str = ""     # declaring class qualified name; "" for free fns
+    callee_is_method: bool = False
+    callee_is_const: bool = False
+
+
+@dataclass
+class FunctionInfo:
+    usr: str
+    name: str
+    qualified: str
+    loc: Loc
+    class_qualified: str = ""  # "" for free functions
+    kind: str = "function"     # function | method | constructor | destructor
+    is_const: bool = False
+    is_virtual: bool = False
+    is_definition: bool = False
+    in_repo: bool = False      # definition lives under the analyzed root
+    calls: list = field(default_factory=list)    # list[CallSite]
+    news: list = field(default_factory=list)     # list[Loc]: new/delete exprs
+    throws: list = field(default_factory=list)   # list[Loc]: throw exprs
+
+
+@dataclass
+class RecordInfo:
+    usr: str
+    qualified: str
+    bases: list = field(default_factory=list)  # qualified names of direct bases
+
+
+@dataclass
+class VarInfo:
+    loc: Loc
+    name: str
+    canonical_type: str  # sugar-free spelling: typedefs/auto resolved
+    kind: str = "var"    # var | field | param
+
+
+@dataclass
+class IterationSite:
+    loc: Loc
+    canonical_type: str  # canonical type of the iterated range / receiver
+    form: str = "range-for"  # range-for | begin-call
+
+
+@dataclass
+class HandlerReg:
+    loc: Loc
+    func_usr: str
+    func_qualified: str
+
+
+class Model:
+    def __init__(self):
+        self.functions = {}      # usr -> FunctionInfo
+        self.records = {}        # qualified -> RecordInfo
+        self.vars = []           # list[VarInfo]
+        self.iterations = []     # list[IterationSite]
+        self.handler_regs = []   # list[HandlerReg]
+
+    def add_function(self, fn):
+        existing = self.functions.get(fn.usr)
+        if existing is None or (fn.is_definition and not existing.is_definition):
+            self.functions[fn.usr] = fn
+
+    def add_record(self, rec):
+        existing = self.records.get(rec.qualified)
+        if existing is None:
+            self.records[rec.qualified] = rec
+        else:
+            for b in rec.bases:
+                if b not in existing.bases:
+                    existing.bases.append(b)
+
+    def merge(self, other):
+        for fn in other.functions.values():
+            self.add_function(fn)
+        for rec in other.records.values():
+            self.add_record(rec)
+        self.vars.extend(other.vars)
+        self.iterations.extend(other.iterations)
+        self.handler_regs.extend(other.handler_regs)
+
+    def derives_from(self, qualified, bases):
+        """True if class `qualified` transitively derives from any of `bases`."""
+        seen = set()
+        stack = [qualified]
+        while stack:
+            cur = stack.pop()
+            if cur in bases:
+                return True
+            if cur in seen:
+                continue
+            seen.add(cur)
+            rec = self.records.get(cur)
+            if rec is not None:
+                stack.extend(rec.bases)
+        return False

@@ -1,0 +1,168 @@
+"""Comment/string-aware C++ source scanning shared by the semantic analyzer
+(tools/analyzer/dibs_analyzer.py) and the fast textual pre-pass
+(tools/determinism_lint.py).
+
+Both tools honor the same per-line escape:
+
+    banned_thing();  // lint:allow(<rule>[, <rule>...])
+
+and both must agree EXACTLY on what counts as a comment. The old regex lint
+got this wrong in two ways this module fixes:
+
+  * block comments (`/* ... */`, including the multi-line doc-comment style)
+    were never stripped, so a banned identifier mentioned in prose was a
+    false positive;
+  * the `// lint:allow(...)` negative-lookahead left the REST of the trailing
+    comment in the scanned text, so `// lint:allow(wall-clock), unlike rand()`
+    would flag the `rand()` inside the comment under a different rule.
+
+`scan()` masks comments and string/char literal bodies with spaces (so line
+and column numbers survive) and extracts lint:allow rules only from genuine
+comment text.
+"""
+
+import re
+
+ALLOW_RE = re.compile(r"lint:allow\(\s*([\w-]+(?:\s*,\s*[\w-]+)*)\s*\)")
+
+
+class ScannedSource:
+    """Per-line code text (comments/literals masked) plus allow annotations."""
+
+    def __init__(self, code_lines, allows):
+        self.code_lines = code_lines  # list[str], 0-indexed
+        self.allows = allows          # dict[int lineno(1-based) -> set[str]]
+
+    def code(self, lineno):
+        """Masked code text of 1-based `lineno` ('' past EOF)."""
+        if 1 <= lineno <= len(self.code_lines):
+            return self.code_lines[lineno - 1]
+        return ""
+
+    def allowed(self, lineno, rule):
+        return rule in self.allows.get(lineno, ())
+
+
+def scan(text):
+    """Splits `text` into masked code lines + lint:allow map.
+
+    Handles line comments, block comments (multi-line), string literals
+    (with escapes), char literals, and raw strings (R"delim(...)delim").
+    Comment TEXT is searched for lint:allow; everything else inside comments
+    and literals is replaced by spaces in the code view.
+    """
+    code_lines = []
+    allows = {}
+    comment_chunks = {}  # lineno -> list of comment text on that line
+
+    NORMAL, LINE_COMMENT, BLOCK_COMMENT, STRING, CHAR, RAW_STRING = range(6)
+    state = NORMAL
+    raw_delim = ""
+
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        out = []
+        i = 0
+        n = len(line)
+        comment_text = []
+        if state == LINE_COMMENT:
+            state = NORMAL  # line comments never span lines
+        while i < n:
+            c = line[i]
+            nxt = line[i + 1] if i + 1 < n else ""
+            if state == NORMAL:
+                if c == "/" and nxt == "/":
+                    state = LINE_COMMENT
+                    comment_text.append(line[i + 2:])
+                    out.append(" " * (n - i))
+                    i = n
+                elif c == "/" and nxt == "*":
+                    state = BLOCK_COMMENT
+                    out.append("  ")
+                    i += 2
+                elif c == '"':
+                    # Raw string? R"delim( ... )delim", with optional
+                    # u8/u/U/L encoding prefix before the R.
+                    if re.search(r"(?:\b|^)(?:u8|[uUL])?R$", line[:i]):
+                        rest = line[i + 1:]
+                        paren = rest.find("(")
+                        if 0 <= paren <= 16:
+                            raw_delim = ")" + rest[:paren] + '"'
+                            state = RAW_STRING
+                            out.append('"' + " " * (paren + 1))
+                            i += 1 + paren + 1
+                            continue
+                    state = STRING
+                    out.append('"')
+                    i += 1
+                elif c == "'":
+                    state = CHAR
+                    out.append("'")
+                    i += 1
+                else:
+                    out.append(c)
+                    i += 1
+            elif state == BLOCK_COMMENT:
+                end = line.find("*/", i)
+                if end < 0:
+                    comment_text.append(line[i:])
+                    out.append(" " * (n - i))
+                    i = n
+                else:
+                    comment_text.append(line[i:end])
+                    out.append(" " * (end - i + 2))
+                    i = end + 2
+                    state = NORMAL
+            elif state == STRING:
+                if c == "\\":
+                    out.append("  ")
+                    i += 2
+                elif c == '"':
+                    out.append('"')
+                    i += 1
+                    state = NORMAL
+                else:
+                    out.append(" ")
+                    i += 1
+            elif state == CHAR:
+                if c == "\\":
+                    out.append("  ")
+                    i += 2
+                elif c == "'":
+                    out.append("'")
+                    i += 1
+                    state = NORMAL
+                else:
+                    out.append(" ")
+                    i += 1
+            elif state == RAW_STRING:
+                end = line.find(raw_delim, i)
+                if end < 0:
+                    out.append(" " * (n - i))
+                    i = n
+                else:
+                    out.append(" " * (end - i) + raw_delim[-1])
+                    i = end + len(raw_delim)
+                    state = NORMAL
+            else:  # pragma: no cover - LINE_COMMENT handled at loop top
+                break
+        # Unterminated string/char at EOL: treat as closed (lenient).
+        if state in (STRING, CHAR):
+            state = NORMAL
+        code_lines.append("".join(out)[:n])
+        if comment_text:
+            comment_chunks[lineno] = comment_text
+
+    for lineno, chunks in comment_chunks.items():
+        rules = set()
+        for chunk in chunks:
+            for m in ALLOW_RE.finditer(chunk):
+                for rule in m.group(1).split(","):
+                    rules.add(rule.strip())
+        if rules:
+            allows[lineno] = rules
+    return ScannedSource(code_lines, allows)
+
+
+def scan_file(path):
+    with open(path, encoding="utf-8", errors="replace") as f:
+        return scan(f.read())

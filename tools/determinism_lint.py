@@ -1,8 +1,17 @@
 #!/usr/bin/env python3
-"""Determinism lint for the DIBS simulator.
+"""Fast textual determinism pre-pass for the DIBS simulator.
 
 The simulator's contract is bit-identical results for a given seed. This
-lint statically bans the constructs that silently break that contract:
+lint is the zero-dependency first line of defense: it textually bans the
+constructs that silently break that contract and runs in milliseconds, on
+every tree (no compiler needed). The authoritative check is the semantic
+analyzer (tools/analyzer/dibs_analyzer.py, rule `determinism-ast`), which
+sees through typedefs/auto/members via libclang and also catches unordered
+iteration — the old regex `unordered-iter` rule lived here and is retired
+in its favor (name-based matching could not see through sugar and the
+analyzer's canonical-type check supersedes it).
+
+Textual rules kept (cheap, sugar rarely hides them):
 
   rand           libc rand()/srand() — unseeded global state. Use
                  src/util/rng.h (dibs::Rng), which is seeded per run.
@@ -11,15 +20,11 @@ lint statically bans the constructs that silently break that contract:
                  time must never feed simulation state. (Whitelisted in
                  src/exp/, where the parallel sweep engine times *itself*,
                  off the simulation path.)
-  unordered-iter Range-for or .begin() iteration over a variable declared
-                 as std::unordered_map/std::unordered_set — iteration order
-                 is implementation-defined, so any fold over it (stats
-                 emission, teardown side effects) is nondeterministic.
-                 Keyed lookup is fine; iteration needs an ordered container
-                 or an explicit sort.
 
-Escape hatch: append `// lint:allow(<rule>)` to a flagged line, e.g. when
-iterating an unordered map purely to build a sorted diagnostic.
+Escape hatch: append `// lint:allow(<rule>)` to a flagged line. Comment and
+string handling is shared with the analyzer (tools/analyzer/source_text.py),
+so both tools agree exactly on what is code, what is comment, and what an
+allow annotation covers.
 
 Usage: tools/determinism_lint.py [repo-root]   (exit 1 on findings)
 """
@@ -28,10 +33,15 @@ import os
 import re
 import sys
 
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+from analyzer import source_text  # noqa: E402
+
 SCAN_DIRS = ("src", "tests", "bench", "examples", "tools")
 EXTENSIONS = (".h", ".cc", ".cpp")
+SKIP_DIRS = {"build", "fixtures"}  # analyzer fixtures violate on purpose
 
-# Per-rule path-prefix whitelists (relative, '/'-separated).
+# Per-rule path-prefix whitelists (relative, '/'-separated). Kept in sync
+# with RuleConfig.path_whitelists in tools/analyzer/rules.py.
 #
 # src/trace/ is intentionally NOT whitelisted for any rule: trace events carry
 # only sim-time state and sampling is a pure uid hash, so a traced run must be
@@ -41,25 +51,24 @@ WHITELIST = {
     "rand": (),
     "random-device": ("src/util/rng.h",),
     "wall-clock": ("src/exp/",),
-    "unordered-iter": ("src/util/rng.h",),
 }
 
-RAND_RE = re.compile(r"(?<![\w:.>])s?rand\s*\(")
-RANDOM_DEVICE_RE = re.compile(r"\brandom_device\b")
-WALL_CLOCK_RE = re.compile(r"\b(?:system_clock|steady_clock|high_resolution_clock)\b")
-# Variable (or member) declared as an unordered container, e.g.
-#   std::unordered_map<FlowId, ActiveFlow> flows_;
-UNORDERED_DECL_RE = re.compile(
-    r"\bunordered_(?:map|set|multimap|multiset)\s*<.*>\s*(\w+)\s*[;{=]")
-ALLOW_RE = re.compile(r"//\s*lint:allow\((\w[\w-]*)\)")
-LINE_COMMENT_RE = re.compile(r"//(?!\s*lint:allow).*")
+RULES = (
+    ("rand", re.compile(r"(?<![\w:.>])s?rand\s*\("),
+     "libc rand()/srand() is unseeded global state; use dibs::Rng"),
+    ("random-device", re.compile(r"\brandom_device\b"),
+     "std::random_device draws hardware entropy; seed dibs::Rng instead"),
+    ("wall-clock",
+     re.compile(r"\b(?:system_clock|steady_clock|high_resolution_clock)\b"),
+     "wall-clock time must not feed simulation state; use Simulator::Now()"),
+)
 
 
 def iter_source_files(root):
     for scan_dir in SCAN_DIRS:
         top = os.path.join(root, scan_dir)
         for dirpath, dirnames, filenames in os.walk(top):
-            dirnames[:] = [d for d in dirnames if d != "build"]
+            dirnames[:] = [d for d in dirnames if d not in SKIP_DIRS]
             for name in sorted(filenames):
                 if name.endswith(EXTENSIONS):
                     yield os.path.join(dirpath, name)
@@ -69,54 +78,17 @@ def is_whitelisted(rule, relpath):
     return any(relpath.startswith(prefix) for prefix in WHITELIST[rule])
 
 
-def collect_unordered_names(files):
-    """All identifiers declared anywhere as unordered containers."""
-    names = set()
-    for path in files:
-        with open(path, encoding="utf-8") as f:
-            for line in f:
-                m = UNORDERED_DECL_RE.search(line)
-                if m:
-                    names.add(m.group(1))
-    return names
-
-
-def iteration_patterns(unordered_names):
-    if not unordered_names:
-        return []
-    alternation = "|".join(re.escape(n) for n in sorted(unordered_names))
-    return [
-        # for (const auto& kv : flows_) { ... }
-        re.compile(r"for\s*\([^;)]*:\s*(?:\w+(?:\.|->))?(%s)\s*\)" % alternation),
-        # flows_.begin() / flows_.cbegin() — hand-rolled iteration.
-        re.compile(r"\b(%s)\s*\.\s*c?begin\s*\(" % alternation),
-    ]
-
-
-def lint_file(path, relpath, iter_patterns, findings):
-    with open(path, encoding="utf-8") as f:
-        for lineno, raw in enumerate(f, start=1):
-            allow = ALLOW_RE.search(raw)
-            allowed_rule = allow.group(1) if allow else None
-            line = LINE_COMMENT_RE.sub("", raw)
-
-            def check(rule, matched, message):
-                if not matched or is_whitelisted(rule, relpath):
-                    return
-                if allowed_rule == rule:
-                    return
-                findings.append((relpath, lineno, rule, message))
-
-            check("rand", RAND_RE.search(line),
-                  "libc rand()/srand() is unseeded global state; use dibs::Rng")
-            check("random-device", RANDOM_DEVICE_RE.search(line),
-                  "std::random_device draws hardware entropy; seed dibs::Rng instead")
-            check("wall-clock", WALL_CLOCK_RE.search(line),
-                  "wall-clock time must not feed simulation state; use Simulator::Now()")
-            for pattern in iter_patterns:
-                check("unordered-iter", pattern.search(line),
-                      "iterating an unordered container is order-nondeterministic; "
-                      "use std::map/std::set or sort the keys first")
+def lint_file(path, relpath, findings):
+    scanned = source_text.scan_file(path)
+    for lineno, code in enumerate(scanned.code_lines, start=1):
+        for rule, pattern, message in RULES:
+            if not pattern.search(code):
+                continue
+            if is_whitelisted(rule, relpath):
+                continue
+            if scanned.allowed(lineno, rule):
+                continue
+            findings.append((relpath, lineno, rule, message))
 
 
 def main():
@@ -126,11 +98,10 @@ def main():
     if not files:
         print("determinism-lint: no source files found under %s" % root)
         return 2
-    iter_patterns = iteration_patterns(collect_unordered_names(files))
     findings = []
     for path in files:
         relpath = os.path.relpath(path, root).replace(os.sep, "/")
-        lint_file(path, relpath, iter_patterns, findings)
+        lint_file(path, relpath, findings)
     for relpath, lineno, rule, message in findings:
         print("%s:%d: [%s] %s" % (relpath, lineno, rule, message))
     if findings:
