@@ -1,4 +1,5 @@
-// Resilience: DCTCP vs DCTCP+DIBS under injected failures.
+// Resilience: DCTCP vs DCTCP+DIBS vs DCTCP+DIBS+guard under injected
+// failures.
 //
 // A 40-degree incast (Table 2 defaults) runs while the fault axis breaks the
 // fabric around host 0's ToR: a flapping uplink, a lossy uplink, or a full
@@ -35,8 +36,12 @@ int main() {
 
   SweepSpec spec;
   spec.name = "resilience";
+  // The guarded variant runs the same fault matrix: faults that push the
+  // fabric into a detour storm (flaps, crashes) should trip breakers near
+  // the failure instead of letting bounced detours amplify it.
   spec.axes.push_back(SchemeAxis({{"dctcp", Standard(DctcpConfig(), duration)},
-                                  {"dibs", Standard(DibsConfig(), duration)}}));
+                                  {"dibs", Standard(DibsConfig(), duration)},
+                                  {"dibs-guard", Standard(DibsGuardConfig(), duration)}}));
   SweepAxis fault_axis;
   fault_axis.name = "fault";
   fault_axis.values.push_back({"healthy", [](ExperimentConfig&) {}});
@@ -63,10 +68,10 @@ int main() {
 
   TablePrinter table({"fault", "scheme", "qct99_ms", "fault_drops", "flows_recovered",
                       "flows_stalled", "recovery_ms_max", "drops_by_reason"},
-                     {14, 8, 0, 0, 0, 0, 0, 66});
+                     {14, 12, 0, 0, 0, 0, 0, 66});
   table.PrintHeader();
   for (const char* fault : {"healthy", "uplink-flap", "uplink-lossy", "tor-crash"}) {
-    for (const char* scheme : {"dctcp", "dibs"}) {
+    for (const char* scheme : {"dctcp", "dibs", "dibs-guard"}) {
       const RunRecord& rec =
           FindRecord(records, {{"scheme", scheme}, {"fault", fault}});
       const ScenarioResult& r = rec.result;

@@ -55,7 +55,17 @@
 #                           machinery (DIBS_TEST_CRASH_RUN, DIBS_ISOLATE)
 #                           are exercised by tests/exp under stage 6's
 #                           ASan+UBSan config.
-#  11. tsan              — sweep engine under ThreadSanitizer (tests/exp)
+#  11. guard             — overload-protection smoke: the guarded fig14
+#                           extreme-qps sweep under ASan+UBSan with
+#                           DIBS_VALIDATE=1 (guard drops must keep the
+#                           conservation ledger balanced, and the breaker
+#                           must actually trip), then the guard_collapse
+#                           negative test on the plain build: the
+#                           CollapseWatchdog must flag unguarded DIBS at
+#                           the collapse point and must not flag the
+#                           guarded run (DIBS_GUARD_EXPECT=1 makes the
+#                           bench exit nonzero otherwise).
+#  12. tsan              — sweep engine under ThreadSanitizer (tests/exp)
 #                           so data races in the threaded layer fail the
 #                           pipeline.
 #
@@ -247,6 +257,30 @@ for jobs in 1 8; do
   diff -u "$CR_TMP/base.csvnorm" "$CR_TMP/resumed.csvnorm"
   echo "crash-resume: byte-identical after SIGKILL + resume at DIBS_JOBS=$jobs"
 done
+
+echo "== guard: ASan+UBSan guarded fig14 smoke with DIBS_VALIDATE=1 =="
+# The guarded scheme runs the whole extreme-qps sweep under sanitizers with
+# the invariant checker on: breaker suppressions and TTL clamps must keep
+# the conservation ledger balanced (every guard drop is attributed).
+cmake --build build-asan -j"$JOBS" --target fig14_extreme_qps
+ASAN_OPTIONS="halt_on_error=1:detect_leaks=1" UBSAN_OPTIONS="halt_on_error=1" \
+  DIBS_VALIDATE=1 DIBS_REQUIRE_OK=1 DIBS_BENCH_DURATION_MS=20 \
+  ./build-asan/bench/fig14_extreme_qps | tee "$CI_TMP/fig14_guard.txt"
+# The guarded column must show real breaker activity even in the short
+# smoke window (trips is the second-to-last table column; skip banner and
+# blank lines, where NF-1 would be an invalid field index).
+awk 'NR > 6 && NF > 2 && $(NF-1) + 0 > 0 { active = 1 } END { exit active ? 0 : 1 }' \
+  "$CI_TMP/fig14_guard.txt" \
+  || { echo "guard: no breaker trips in the fig14 smoke"; exit 1; }
+
+echo "== guard: negative test — watchdog trips unguarded DIBS, not guarded =="
+# Plain (fast) build at the collapse point: the bench itself exits nonzero
+# unless the unguarded run is flagged by the CollapseWatchdog AND the
+# guarded run is not (with at least one breaker trip). A watchdog that
+# never fires, or a guard that stopped preventing the collapse it exists
+# for, both fail here.
+cmake --build build -j"$JOBS" --target guard_collapse
+DIBS_GUARD_EXPECT=1 ./build/bench/guard_collapse
 
 echo "== tsan: sweep engine under ThreadSanitizer =="
 cmake -B build-tsan -S . -DDIBS_SANITIZE=thread >/dev/null

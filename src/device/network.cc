@@ -103,6 +103,15 @@ Network::Network(Simulator* sim, Topology topology, NetworkConfig config)
     }
   }
 
+  // Overload guard: one DetourGuard per switch, ticked by a single fabric
+  // event; transitions fan back out through NotifyGuardTransition.
+  if (config_.guard.enabled) {
+    guard_ = std::make_unique<GuardFabric>(sim_, config_.guard, switch_ids_);
+    guard_->set_transition_callback([this](int node, GuardState from, GuardState to) {
+      NotifyGuardTransition(node, from, to);
+    });
+  }
+
   // Wire peers.
   for (int n = 0; n < topo_.num_nodes(); ++n) {
     const TopoNode& tn = topo_.node(n);
@@ -187,6 +196,23 @@ void Network::NotifyDequeue(int node, uint16_t port, const Packet& p, size_t que
   if (trace_ != nullptr) {
     TraceEvent ev = MakeTracePacketEvent(TraceEventType::kDequeue, sim_->Now(), node, port, p);
     ev.queue_depth = static_cast<int32_t>(queue_depth);
+    trace_->Emit(ev);
+  }
+}
+
+void Network::NotifyGuardTransition(int node, GuardState from, GuardState to) {
+  for (NetworkObserver* obs : observers_) {
+    obs->OnGuardTransition(node, from, to, sim_->Now());
+  }
+  if (trace_ != nullptr) {
+    TraceEvent ev;
+    ev.at = sim_->Now();
+    ev.type = TraceEventType::kGuardTransition;
+    ev.node = node;
+    // Not a packet event: from/to states ride the numeric port/queue_depth
+    // fields (same convention as kLinkUp carrying the link id in `port`).
+    ev.port = static_cast<int32_t>(from);
+    ev.queue_depth = static_cast<int32_t>(to);
     trace_->Emit(ev);
   }
 }

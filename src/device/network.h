@@ -13,6 +13,8 @@
 #include "src/core/detour_policy.h"
 #include "src/device/node.h"
 #include "src/device/observer.h"
+#include "src/guard/guard_config.h"
+#include "src/guard/guard_fabric.h"
 #include "src/sim/simulator.h"
 #include "src/topo/routing.h"
 #include "src/topo/topology.h"
@@ -61,6 +63,11 @@ struct NetworkConfig {
   size_t pfc_xoff_packets = 80;  // per output queue; default buffer is 100
   size_t pfc_xon_packets = 40;
 
+  // Overload guard (src/guard): per-switch detour-storm circuit breaker and
+  // adaptive detour-TTL clamp. Disabled by default; when off the forwarding
+  // path pays one null-pointer check per packet.
+  GuardConfig guard;
+
   // Packet-level ECMP (§6): spray each packet uniformly over the equal-cost
   // next hops instead of hashing per flow. Proposed in the literature but not
   // widely used — the paper argues even perfect load-aware spraying cannot
@@ -106,6 +113,15 @@ class Network {
   void NotifyHostDeliver(HostId host, const Packet& p);
   void NotifyEnqueue(int node, uint16_t port, size_t queue_depth);
   void NotifyDequeue(int node, uint16_t port, const Packet& p, size_t queue_depth);
+  void NotifyGuardTransition(int node, GuardState from, GuardState to);
+
+  // ---- Overload guard (src/guard) ----
+  //
+  // Constructed when config.guard.enabled; the fabric reports breaker
+  // transitions back through NotifyGuardTransition (observers + trace).
+  // Callers running outside a Scenario must Start() it themselves.
+  GuardFabric* guard() { return guard_.get(); }
+  const GuardFabric* guard() const { return guard_.get(); }
 
   // ---- Packet-lifecycle tracing (src/trace) ----
   //
@@ -187,6 +203,7 @@ class Network {
   std::vector<bool> node_up_;            // indexed by node id; false = crashed switch
   std::vector<bool> link_effective_up_;  // last applied effective state, for trace edges
   std::unique_ptr<DetourPolicy> policy_;
+  std::unique_ptr<GuardFabric> guard_;
 
   std::vector<std::unique_ptr<Node>> nodes_;                 // indexed by topo node id
   std::vector<std::unique_ptr<SharedBufferPool>> pools_;     // per switch when DBA on

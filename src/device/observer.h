@@ -7,6 +7,7 @@
 
 #include <cstddef>
 
+#include "src/guard/guard_config.h"
 #include "src/net/drop_reason.h"
 #include "src/net/packet.h"
 #include "src/sim/time.h"
@@ -40,6 +41,10 @@ class NetworkObserver {
   // fault-drain); `queue_depth` is the occupancy right after removal.
   virtual void OnDequeue(int node, uint16_t port, const Packet& p, size_t queue_depth,
                          Time at) {}
+
+  // The overload guard's circuit breaker for switch `node` moved from state
+  // `from` to state `to` (src/guard; ARMED/SUPPRESSED/PROBING).
+  virtual void OnGuardTransition(int node, GuardState from, GuardState to, Time at) {}
 };
 
 }  // namespace dibs

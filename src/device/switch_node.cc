@@ -19,10 +19,20 @@ void SwitchNode::HandleReceive(Packet&& p, uint16_t in_port) {
     return;
   }
 
+  // Overload guard: per-packet pressure signals. One null check when the
+  // guard is off; plain counter increments when it is on.
+  GuardFabric* guard = net.guard();
+  if (guard != nullptr) {
+    guard->NotePacket(id());
+  }
+
   // TTL: one decrement per switch hop; bounds the total detour budget
   // (§5.5.3). A packet arriving with ttl 1 cannot be forwarded again.
   if (p.ttl <= 1) {
     ++drops_;
+    if (guard != nullptr) {
+      guard->NoteTtlExpiry(id());
+    }
     net.NotifyDrop(id(), p, DropReason::kTtlExpired);
     return;
   }
@@ -58,12 +68,19 @@ void SwitchNode::HandleReceive(Packet&& p, uint16_t in_port) {
     ctx.desired_queue_cap = out.queue().capacity_packets();
     ctx.packet = &p;
     std::vector<DetourPortInfo> snapshot;
-    if (net.detour_policy().ShouldDetourEarly(ctx, net.sim().rng())) {
+    // A suppressed breaker also vetoes early (probabilistic) detours — the
+    // packet simply takes its desired queue, which has room here.
+    const bool guard_allows = guard == nullptr || (guard->DetourEnabled(id()) &&
+                                                   p.detour_count < guard->DetourBudget());
+    if (guard_allows && net.detour_policy().ShouldDetourEarly(ctx, net.sim().rng())) {
       snapshot = SnapshotPorts(p);
       ctx.ports = &snapshot;
       if (auto port = net.detour_policy().ChoosePort(ctx, net.sim().rng()); port.has_value()) {
         ++detours_;
         ++p.detour_count;
+        if (guard != nullptr) {
+          guard->NoteDetour(id(), /*bounce_back=*/*port == in_port);
+        }
         if (p.ect) {
           p.ce = true;
         }
@@ -81,6 +98,20 @@ void SwitchNode::HandleReceive(Packet&& p, uint16_t in_port) {
 
 void SwitchNode::DetourOrDrop(Packet&& p, uint16_t desired_port, uint16_t in_port) {
   Network& net = *network_;
+
+  // Overload guard: the breaker (guard-suppressed) and the adaptive TTL
+  // clamp (guard-ttl-clamped) veto before the policy runs — a vetoed
+  // decision must not consume policy RNG, or suppressed stretches would
+  // perturb every later draw.
+  const bool dibs_configured = net.config().detour_policy != "none";
+  if (GuardFabric* guard = net.guard(); guard != nullptr && dibs_configured) {
+    if (auto deny = guard->AdmitDetour(id(), p.detour_count); deny.has_value()) {
+      ++drops_;
+      net.NotifyDrop(id(), p, *deny);
+      return;
+    }
+  }
+
   std::vector<DetourPortInfo> snapshot = SnapshotPorts(p);
 
   DetourContext ctx;
@@ -95,14 +126,15 @@ void SwitchNode::DetourOrDrop(Packet&& p, uint16_t desired_port, uint16_t in_por
   std::optional<uint16_t> port = net.detour_policy().ChoosePort(ctx, net.sim().rng());
   if (!port.has_value()) {
     ++drops_;
-    const bool dibs_active = snapshot.size() > 1 && net.config().detour_policy != "none";
-    net.NotifyDrop(id(), p,
-                   dibs_active ? DropReason::kNoDetourAvailable : DropReason::kQueueOverflow);
+    net.NotifyDrop(id(), p, DeclineReason(snapshot, desired_port, dibs_configured));
     return;
   }
 
   ++detours_;
   ++p.detour_count;
+  if (GuardFabric* guard = net.guard(); guard != nullptr) {
+    guard->NoteDetour(id(), /*bounce_back=*/*port == in_port);
+  }
   // Detoured packets travel a longer path through congested territory — mark
   // them so DCTCP still sees the congestion signal (§5.3).
   if (p.ect) {
@@ -110,6 +142,35 @@ void SwitchNode::DetourOrDrop(Packet&& p, uint16_t desired_port, uint16_t in_por
   }
   net.NotifyDetour(id(), *port, p);
   Forward(std::move(p), *port);
+}
+
+DropReason SwitchNode::DeclineReason(const std::vector<DetourPortInfo>& snapshot,
+                                     uint16_t desired_port, bool dibs_configured) const {
+  const bool dibs_active = snapshot.size() > 1 && dibs_configured;
+  if (!dibs_active) {
+    return DropReason::kQueueOverflow;
+  }
+  // Distinguish WHY the policy declined. kNoDetourAvailable keeps its
+  // historical meaning — live candidates existed but every one was full.
+  // When switch-facing neighbors exist yet every one is paused or down (a
+  // fabric-wide PFC storm, or every neighbor dead), the eligible set was
+  // structurally empty and the drop is a distinct failure mode.
+  bool any_switch_facing = false;
+  bool any_live = false;
+  for (const DetourPortInfo& info : snapshot) {
+    if (info.port == desired_port || !info.to_switch) {
+      continue;
+    }
+    any_switch_facing = true;
+    if (info.link_up && !info.paused) {
+      any_live = true;
+      break;
+    }
+  }
+  if (any_switch_facing && !any_live) {
+    return DropReason::kNoEligibleDetour;
+  }
+  return DropReason::kNoDetourAvailable;
 }
 
 void SwitchNode::Forward(Packet&& p, uint16_t out_port) {

@@ -15,6 +15,7 @@
 #include "src/core/detour_policy.h"
 #include "src/device/node.h"
 #include "src/device/port.h"
+#include "src/net/drop_reason.h"
 
 namespace dibs {
 
@@ -62,6 +63,12 @@ class SwitchNode : public Node {
 
   // Detour-or-drop slow path once the desired queue refused the packet.
   void DetourOrDrop(Packet&& p, uint16_t desired_port, uint16_t in_port);
+
+  // Why the policy declined: queue-overflow (DIBS off / nowhere to try),
+  // no-detour-available (live candidates all full), or no-eligible-detour
+  // (every switch-facing port paused or down — a fabric-wide PFC storm).
+  DropReason DeclineReason(const std::vector<DetourPortInfo>& snapshot,
+                           uint16_t desired_port, bool dibs_configured) const;
 
   // Builds the per-port snapshot the policy decides over.
   std::vector<DetourPortInfo> SnapshotPorts(const Packet& p) const;

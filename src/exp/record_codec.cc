@@ -439,6 +439,13 @@ std::string EncodeRunRecord(const RunRecord& r) {
   WriteSummary(os, s.queueing_delay_us);
   os << ",\"loop_packets\":" << s.loop_packets
      << ",\"retransmits\":" << s.retransmits << ",\"timeouts\":" << s.timeouts
+     << ",\"guard_trips\":" << s.guard_trips
+     << ",\"guard_transitions\":" << s.guard_transitions
+     << ",\"guard_suppressed_drops\":" << s.guard_suppressed_drops
+     << ",\"guard_ttl_clamped_drops\":" << s.guard_ttl_clamped_drops
+     << ",\"guard_time_suppressed_ms\":" << JsonNum(s.guard_time_suppressed_ms)
+     << ",\"collapse_detected\":" << (s.collapse_detected ? "true" : "false")
+     << ",\"collapse_onset_ms\":" << JsonNum(s.collapse_onset_ms)
      << ",\"hot_fractions\":";
   WriteDoubleArray(os, s.hot_fractions);
   os << ",\"relative_hot_fractions\":";
@@ -554,6 +561,16 @@ bool DecodeRunRecord(const std::string& line, RunRecord* record,
     GetUint(*res, "loop_packets", &s.loop_packets);
     GetUint(*res, "retransmits", &s.retransmits);
     GetUint(*res, "timeouts", &s.timeouts);
+    GetUint(*res, "guard_trips", &s.guard_trips);
+    GetUint(*res, "guard_transitions", &s.guard_transitions);
+    GetUint(*res, "guard_suppressed_drops", &s.guard_suppressed_drops);
+    GetUint(*res, "guard_ttl_clamped_drops", &s.guard_ttl_clamped_drops);
+    GetDouble(*res, "guard_time_suppressed_ms", &s.guard_time_suppressed_ms);
+    if (const JsonValue* v = Find(*res, "collapse_detected");
+        v != nullptr && v->kind == JsonValue::Kind::kBool) {
+      s.collapse_detected = v->boolean;
+    }
+    GetDouble(*res, "collapse_onset_ms", &s.collapse_onset_ms);
     GetDoubleArray(*res, "hot_fractions", &s.hot_fractions);
     GetDoubleArray(*res, "relative_hot_fractions", &s.relative_hot_fractions);
     GetDoubleArray(*res, "one_hop_free", &s.one_hop_free);

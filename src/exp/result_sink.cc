@@ -82,7 +82,10 @@ void CsvSink::OnRecord(const RunRecord& r) {
            // normalization addresses wall_ms/events_per_sec by column index,
            // so new columns must append, never insert.
            "queueing_count,queueing_mean_us,queueing_p50_us,queueing_p99_us,"
-           "loop_packets\n";
+           "loop_packets,"
+           // Guard-era telemetry (src/guard), appended for the same reason.
+           "guard_trips,guard_suppressed_drops,guard_ttl_clamped_drops,"
+           "guard_time_suppressed_ms,collapse_detected,collapse_onset_ms\n";
     wrote_header_ = true;
   }
   const ScenarioResult& s = r.result;
@@ -105,7 +108,10 @@ void CsvSink::OnRecord(const RunRecord& r) {
       << s.retransmits << "," << s.timeouts << "," << s.events_processed << ","
       << s.queueing_delay_us.count << "," << CsvNum(s.queueing_delay_us.mean) << ","
       << CsvNum(s.queueing_delay_us.p50) << "," << CsvNum(s.queueing_delay_us.p99)
-      << "," << s.loop_packets << "\n";
+      << "," << s.loop_packets << "," << s.guard_trips << ","
+      << s.guard_suppressed_drops << "," << s.guard_ttl_clamped_drops << ","
+      << CsvNum(s.guard_time_suppressed_ms) << "," << (s.collapse_detected ? 1 : 0)
+      << "," << CsvNum(s.collapse_onset_ms) << "\n";
   os_.flush();
 }
 

@@ -88,6 +88,29 @@ uint64_t DigestConfig(const ExperimentConfig& c) {
   h.Mix(static_cast<uint64_t>(n.pfc_xoff_packets));
   h.Mix(static_cast<uint64_t>(n.pfc_xon_packets));
   h.Mix(n.packet_level_ecmp);
+  // Overload guard: every knob shapes forwarding decisions (breaker, TTL
+  // clamp) or the recorded result (watchdog columns), so all of it digests.
+  const GuardConfig& g = n.guard;
+  h.Mix(g.enabled);
+  h.Mix(g.window);
+  h.Mix(g.ewma_alpha);
+  h.Mix(g.trip_detour_rate);
+  h.Mix(g.trip_bounce_ratio);
+  h.Mix(g.trip_ttl_rate);
+  h.Mix(static_cast<uint64_t>(g.min_window_packets));
+  h.Mix(g.rearm_detour_rate);
+  h.Mix(g.suppress_hold);
+  h.Mix(static_cast<uint64_t>(g.probe_budget));
+  h.Mix(g.adaptive_ttl);
+  h.Mix(static_cast<int64_t>(g.ttl_budget_max));
+  h.Mix(static_cast<int64_t>(g.ttl_budget_min));
+  h.Mix(g.ttl_pressure_onset);
+  h.Mix(g.ttl_pressure_full);
+  h.Mix(g.watchdog);
+  h.Mix(g.collapse_window);
+  h.Mix(g.collapse_fraction);
+  h.Mix(g.collapse_consecutive);
+  h.Mix(static_cast<uint64_t>(g.collapse_min_peak));
   // TraceConfig is deliberately NOT mixed: tracing is observability, and
   // toggling it must not invalidate journaled results (like sweep_run_index).
 

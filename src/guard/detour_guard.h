@@ -1,0 +1,122 @@
+// Per-switch detour-storm circuit breaker.
+//
+// A DetourGuard watches one switch's forwarding behavior through three
+// windowed signals — detour demand, bounce-back ratio, and TTL-expiry
+// incidence — smoothed into EWMAs on a fixed tick cadence. When any signal
+// crosses its trip threshold the breaker opens (SUPPRESSED): the switch
+// falls back to plain drop-tail and overflow packets die with the
+// guard-suppressed drop reason instead of feeding the storm. After a dwell
+// the breaker half-closes (PROBING), admitting a bounded number of probe
+// detours per window; if the probes show pressure has subsided (hysteresis:
+// the re-arm line sits below the trip line) the breaker re-ARMs, otherwise
+// it re-opens.
+//
+// DetourGuard mutates switch forwarding behavior, so the observer-purity
+// analyzer rule lists it as simulation state: a NetworkObserver must never
+// call its non-const methods. It is driven by GuardFabric (tick cadence) and
+// SwitchNode (per-packet notes), never by observers.
+
+#ifndef SRC_GUARD_DETOUR_GUARD_H_
+#define SRC_GUARD_DETOUR_GUARD_H_
+
+#include <cstdint>
+
+#include "src/guard/guard_config.h"
+#include "src/sim/time.h"
+
+namespace dibs {
+
+class DetourGuard {
+ public:
+  DetourGuard(const GuardConfig& config, Time armed_at)
+      : config_(config), state_since_(armed_at) {}
+
+  GuardState state() const { return state_; }
+  Time state_since() const { return state_since_; }
+
+  // True when the breaker currently lets this switch detour at all. In
+  // PROBING the per-window probe budget still applies — AdmitDetour is the
+  // authoritative gate; this is the cheap read for the early-detour path.
+  bool DetourEnabled() const { return state_ != GuardState::kSuppressed; }
+
+  // One detour decision point was reached (the desired queue refused the
+  // packet and the switch consulted the policy). Returns true when the
+  // breaker admits the detour, false when it must drop as guard-suppressed.
+  // Counted as demand either way, so the EWMA keeps tracking pressure while
+  // the breaker is open.
+  bool AdmitDetour() {
+    ++window_detour_attempts_;
+    switch (state_) {
+      case GuardState::kArmed:
+        return true;
+      case GuardState::kSuppressed:
+        return false;
+      case GuardState::kProbing:
+        if (window_probes_used_ >= config_.probe_budget) {
+          return false;
+        }
+        ++window_probes_used_;
+        return true;
+    }
+    return true;
+  }
+
+  // Per-packet notes from the switch's receive path.
+  void NotePacket() { ++window_packets_; }
+  void NoteDetour(bool bounce_back) {
+    ++window_detours_;
+    if (bounce_back) {
+      ++window_bounces_;
+    }
+  }
+  void NoteTtlExpiry() { ++window_ttl_drops_; }
+
+  // Window rollup, called by GuardFabric once per config.window at time
+  // `now`. Folds the window counters into the EWMAs, runs the state
+  // machine, resets the window, and returns the previous state (callers
+  // compare against state() to detect a transition).
+  GuardState OnWindowTick(Time now);
+
+  // Smoothed signals (post-tick values).
+  double ewma_detour_rate() const { return ewma_detour_rate_; }
+  double ewma_bounce_ratio() const { return ewma_bounce_ratio_; }
+  double ewma_ttl_rate() const { return ewma_ttl_rate_; }
+
+  // Lifetime accounting.
+  uint64_t trips() const { return trips_; }
+  // Total sim time spent SUPPRESSED, including the current stretch up to
+  // `now` when the breaker is open right now.
+  Time SuppressedFor(Time now) const {
+    Time total = suppressed_total_;
+    if (state_ == GuardState::kSuppressed) {
+      total = total + (now - state_since_);
+    }
+    return total;
+  }
+
+ private:
+  void TransitionTo(GuardState next, Time now);
+
+  GuardConfig config_;
+  GuardState state_ = GuardState::kArmed;
+  Time state_since_;
+  Time suppressed_total_;
+
+  // Current-window counters, reset every tick.
+  uint64_t window_packets_ = 0;
+  uint64_t window_detour_attempts_ = 0;
+  uint64_t window_detours_ = 0;
+  uint64_t window_bounces_ = 0;
+  uint64_t window_ttl_drops_ = 0;
+  uint64_t window_probes_used_ = 0;
+
+  double ewma_detour_rate_ = 0;
+  double ewma_bounce_ratio_ = 0;
+  double ewma_ttl_rate_ = 0;
+
+  uint64_t trips_ = 0;
+};
+
+}  // namespace dibs
+
+#endif  // SRC_GUARD_DETOUR_GUARD_H_

@@ -1,0 +1,116 @@
+#include "src/guard/guard_fabric.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/util/logging.h"
+
+namespace dibs {
+
+GuardFabric::GuardFabric(Simulator* sim, const GuardConfig& config,
+                         std::vector<int> switch_ids)
+    : sim_(sim), config_(config) {
+  DIBS_CHECK(config_.rearm_detour_rate < config_.trip_detour_rate)
+      << "guard hysteresis requires rearm_detour_rate < trip_detour_rate";
+  DIBS_CHECK(config_.ttl_budget_min <= config_.ttl_budget_max)
+      << "adaptive TTL budget range is inverted";
+  detour_budget_ = config_.adaptive_ttl ? config_.ttl_budget_max : UINT16_MAX;
+  for (const int node : switch_ids) {
+    guards_.emplace(node, DetourGuard(config_, sim_->Now()));
+  }
+}
+
+void GuardFabric::Start(Time stop_time) {
+  if (started_) {
+    return;
+  }
+  started_ = true;
+  stop_time_ = stop_time;
+  sim_->Schedule(config_.window, [this] { Tick(); });
+}
+
+std::optional<DropReason> GuardFabric::AdmitDetour(int node, uint16_t detour_count) {
+  if (detour_count >= detour_budget_) {
+    ++ttl_clamped_;
+    // Still demand: a clamped packet wanted a detour, and the breaker's
+    // pressure signal must see it even though the clamp fired first.
+    GuardAt(node).AdmitDetour();
+    ++window_fabric_detours_;
+    return DropReason::kGuardTtlClamped;
+  }
+  if (!GuardAt(node).AdmitDetour()) {
+    ++suppressed_denials_;
+    ++window_fabric_detours_;
+    return DropReason::kGuardSuppressed;
+  }
+  ++window_fabric_detours_;
+  return std::nullopt;
+}
+
+uint64_t GuardFabric::TotalTrips() const {
+  uint64_t total = 0;
+  for (const auto& [node, guard] : guards_) {
+    total += guard.trips();
+  }
+  return total;
+}
+
+Time GuardFabric::TotalSuppressed(Time now) const {
+  Time total;
+  for (const auto& [node, guard] : guards_) {
+    total = total + guard.SuppressedFor(now);
+  }
+  return total;
+}
+
+DetourGuard& GuardFabric::GuardAt(int node) {
+  const auto it = guards_.find(node);
+  DIBS_CHECK(it != guards_.end()) << "no guard for node " << node;
+  return it->second;
+}
+
+const DetourGuard& GuardFabric::GuardAt(int node) const {
+  const auto it = guards_.find(node);
+  DIBS_CHECK(it != guards_.end()) << "no guard for node " << node;
+  return it->second;
+}
+
+void GuardFabric::Tick() {
+  const Time now = sim_->Now();
+
+  // Fabric pressure first, so this window's adaptive budget is in force for
+  // the packets the next window handles.
+  if (window_fabric_packets_ >= config_.min_window_packets) {
+    const double sample = static_cast<double>(window_fabric_detours_) /
+                          static_cast<double>(window_fabric_packets_);
+    ewma_fabric_pressure_ = config_.ewma_alpha * sample +
+                            (1.0 - config_.ewma_alpha) * ewma_fabric_pressure_;
+  }
+  window_fabric_packets_ = 0;
+  window_fabric_detours_ = 0;
+
+  if (config_.adaptive_ttl) {
+    const double onset = config_.ttl_pressure_onset;
+    const double full = std::max(config_.ttl_pressure_full, onset + 1e-9);
+    const double t =
+        std::clamp((ewma_fabric_pressure_ - onset) / (full - onset), 0.0, 1.0);
+    const double budget = static_cast<double>(config_.ttl_budget_max) -
+                          t * static_cast<double>(config_.ttl_budget_max -
+                                                  config_.ttl_budget_min);
+    detour_budget_ = static_cast<uint16_t>(budget);
+  }
+
+  // Per-switch rollup + state machine, node-id order (std::map).
+  for (auto& [node, guard] : guards_) {
+    const GuardState before = guard.OnWindowTick(now);
+    if (guard.state() != before && on_transition_) {
+      on_transition_(node, before, guard.state());
+    }
+  }
+
+  if (now < stop_time_) {
+    sim_->Schedule(config_.window, [this] { Tick(); });
+  }
+}
+
+}  // namespace dibs

@@ -1,0 +1,116 @@
+// GuardFabric: owns one DetourGuard per switch plus the fabric-wide
+// adaptive-TTL state, and drives them all from a single repeating sim event.
+//
+// One tick per GuardConfig::window walks the switches in node-id order
+// (deterministic), rolls each guard's window into its EWMAs, runs its state
+// machine, and reports every transition through the callback the Network
+// installs (which fans out to observers and the trace bus). The same tick
+// refreshes the fabric detour-pressure EWMA that the adaptive TTL clamp is
+// derived from. Everything runs on the simulation clock with plain counter
+// arithmetic — no RNG, no wall clock — so guarded runs stay bit-identical
+// across DIBS_JOBS, process isolation, and journal resume.
+//
+// Layering: src/guard sits below src/device. The fabric never touches
+// Network; SwitchNode pushes per-packet notes down and the Network receives
+// transitions through the callback.
+
+#ifndef SRC_GUARD_GUARD_FABRIC_H_
+#define SRC_GUARD_GUARD_FABRIC_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "src/guard/detour_guard.h"
+#include "src/guard/guard_config.h"
+#include "src/net/drop_reason.h"
+#include "src/sim/simulator.h"
+
+namespace dibs {
+
+class GuardFabric {
+ public:
+  // (node, previous state, new state) — invoked from the tick event, in
+  // node-id order, for every transition the tick produced.
+  using TransitionCallback = std::function<void(int, GuardState, GuardState)>;
+
+  GuardFabric(Simulator* sim, const GuardConfig& config, std::vector<int> switch_ids);
+
+  void set_transition_callback(TransitionCallback cb) { on_transition_ = std::move(cb); }
+
+  // Begins the tick cadence; reschedules itself until `stop_time` (the
+  // scenario passes duration + drain, mirroring the monitors).
+  void Start(Time stop_time);
+
+  // ---- Forwarding-path gate (called by SwitchNode) ----
+
+  // The switch reached a detour decision point for a packet carrying
+  // `detour_count` prior detours. Returns nullopt when the detour may
+  // proceed, or the drop reason the packet must die with: guard-suppressed
+  // (breaker open / probe budget spent) or guard-ttl-clamped (adaptive
+  // budget exhausted). The TTL clamp is checked first — a packet over
+  // budget must not consume the probe allowance.
+  std::optional<DropReason> AdmitDetour(int node, uint16_t detour_count);
+
+  // Cheap read for the early-detour (probabilistic) path: false while the
+  // breaker has this switch suppressed.
+  bool DetourEnabled(int node) const { return GuardAt(node).DetourEnabled(); }
+
+  // Per-packet notes from the receive path.
+  void NotePacket(int node) {
+    GuardAt(node).NotePacket();
+    ++window_fabric_packets_;
+  }
+  void NoteDetour(int node, bool bounce_back) {
+    GuardAt(node).NoteDetour(bounce_back);
+    ++window_fabric_detours_;
+  }
+  void NoteTtlExpiry(int node) { GuardAt(node).NoteTtlExpiry(); }
+
+  // ---- Adaptive TTL ----
+
+  // Current per-packet detour budget. Without adaptive_ttl the budget is
+  // unlimited (UINT16_MAX, far above any reachable detour_count: the hop
+  // TTL bounds the packet's life first).
+  uint16_t DetourBudget() const { return detour_budget_; }
+  double FabricPressure() const { return ewma_fabric_pressure_; }
+
+  // ---- Accounting (read by GuardRecorder-free callers: benches, tests) ----
+  const DetourGuard& guard(int node) const { return GuardAt(node); }
+  bool HasGuard(int node) const { return guards_.count(node) != 0; }
+  uint64_t TotalTrips() const;
+  Time TotalSuppressed(Time now) const;
+  uint64_t ttl_clamped() const { return ttl_clamped_; }
+  uint64_t suppressed_denials() const { return suppressed_denials_; }
+
+  const GuardConfig& config() const { return config_; }
+
+ private:
+  DetourGuard& GuardAt(int node);
+  const DetourGuard& GuardAt(int node) const;
+  void Tick();
+
+  Simulator* sim_;
+  GuardConfig config_;
+  // node id -> guard; std::map for deterministic iteration order.
+  std::map<int, DetourGuard> guards_;
+  TransitionCallback on_transition_;
+  Time stop_time_;
+  bool started_ = false;
+
+  // Fabric-wide pressure: detour decisions per handled packet, across every
+  // switch, smoothed with the same alpha as the per-switch signals.
+  uint64_t window_fabric_packets_ = 0;
+  uint64_t window_fabric_detours_ = 0;
+  double ewma_fabric_pressure_ = 0;
+  uint16_t detour_budget_;
+
+  uint64_t ttl_clamped_ = 0;
+  uint64_t suppressed_denials_ = 0;
+};
+
+}  // namespace dibs
+
+#endif  // SRC_GUARD_GUARD_FABRIC_H_

@@ -20,6 +20,15 @@ ExperimentConfig DibsConfig() {
   return c;
 }
 
+ExperimentConfig DibsGuardConfig() {
+  ExperimentConfig c = DibsConfig();
+  c.label = "DCTCP+DIBS+guard";
+  c.net.guard.enabled = true;
+  c.net.guard.adaptive_ttl = true;
+  c.net.guard.watchdog = true;
+  return c;
+}
+
 ExperimentConfig InfiniteBufferConfig() {
   ExperimentConfig c;
   c.label = "DCTCP w/ inf";

@@ -96,6 +96,12 @@ ExperimentConfig DctcpConfig();
 // DCTCP + DIBS (§5.3): random detouring, fast retransmit disabled.
 ExperimentConfig DibsConfig();
 
+// DCTCP + DIBS + overload guard (src/guard): DibsConfig plus the per-switch
+// circuit breaker, adaptive detour TTL, and collapse watchdog — the
+// graceful-degradation line for the fig14 extreme-qps regime. Guard knobs
+// live in config.net.guard.
+ExperimentConfig DibsGuardConfig();
+
 // DCTCP with effectively infinite buffers ("DCTCP w/ inf", Figures 6/7).
 ExperimentConfig InfiniteBufferConfig();
 

@@ -59,6 +59,20 @@ Scenario::Scenario(const ExperimentConfig& config) : config_(config) {
   sim_ = std::make_unique<Simulator>(config_.seed);
   network_ = std::make_unique<Network>(sim_.get(), BuildTopology(), config_.net);
   network_->AddObserver(&detour_recorder_);
+  network_->AddObserver(&guard_recorder_);
+  if (config_.net.guard.watchdog) {
+    // Goodput signal: flow completions, not raw delivered packets. Deep in
+    // the fig14 regime the downlinks stay saturated — delivered packets per
+    // window never dip — but the packets stop finishing flows (retransmit
+    // thrash + detour storms), which is exactly the collapse the watchdog
+    // exists to catch. flows_ is constructed later in this ctor; the
+    // callback only fires once the simulation runs.
+    collapse_watchdog_ = std::make_unique<CollapseWatchdog>(
+        sim_.get(), config_.net.guard, [this]() -> uint64_t {
+          return flows_ != nullptr ? flows_->flows_completed()
+                                   : network_->total_delivered();
+        });
+  }
   // Tracing attaches before any traffic exists so host-send events are never
   // missed. The env overlay lets sweeps/CI trace without touching configs.
   if (TraceConfig tcfg = ApplyTraceEnv(config_.trace); tcfg.enabled) {
@@ -167,6 +181,14 @@ ScenarioResult Scenario::Run() {
   if (buffer_monitor_ != nullptr) {
     buffer_monitor_->Start();
   }
+  if (network_->guard() != nullptr) {
+    network_->guard()->Start(config_.duration + config_.drain);
+  }
+  if (collapse_watchdog_ != nullptr) {
+    // Only watch while load is offered: the drain phase legitimately decays
+    // to zero goodput and must not read as collapse.
+    collapse_watchdog_->Start(config_.duration, CollapseWatchdog::ReadStrictCollapseEnv());
+  }
 
   try {
     sim_->RunUntil(config_.duration + config_.drain);
@@ -184,6 +206,13 @@ ScenarioResult Scenario::Run() {
   } catch (const ValidationError&) {
     // Dump the flight recorder before the error propagates: the last N
     // events around the violation are exactly what debugging needs.
+    if (trace_ != nullptr) {
+      trace_->DumpFlight();
+    }
+    throw;
+  } catch (const CollapseError&) {
+    // Strict-mode collapse abort: the events leading into the collapse are
+    // as valuable as they are for an invariant violation.
     if (trace_ != nullptr) {
       trace_->DumpFlight();
     }
@@ -232,6 +261,15 @@ ScenarioResult Scenario::Run() {
   r.loop_packets = trace_ != nullptr ? trace_->journeys().loop_packets() : 0;
   r.retransmits = recorder_.total_retransmits();
   r.timeouts = recorder_.total_timeouts();
+  r.guard_trips = guard_recorder_.trips();
+  r.guard_transitions = guard_recorder_.transition_count();
+  r.guard_suppressed_drops = guard_recorder_.suppressed_drops();
+  r.guard_ttl_clamped_drops = guard_recorder_.ttl_clamped_drops();
+  r.guard_time_suppressed_ms = guard_recorder_.SuppressedMsUpTo(sim_->Now());
+  if (collapse_watchdog_ != nullptr) {
+    r.collapse_detected = collapse_watchdog_->collapse_detected();
+    r.collapse_onset_ms = collapse_watchdog_->collapse_onset_ms();
+  }
   if (link_monitor_ != nullptr) {
     r.hot_fractions = link_monitor_->hot_fractions();
     r.relative_hot_fractions = link_monitor_->relative_hot_fractions();
@@ -253,8 +291,14 @@ std::string FormatDropBreakdown(const std::vector<uint64_t>& drops_by_reason) {
   std::string out;
   for (size_t i = 0; i < drops_by_reason.size() && i < kNumDropReasons; ++i) {
     // ttl-expired is reported even at zero: it is the aggregate loop-death
-    // figure that trace-derived loop counts get cross-checked against.
-    if (drops_by_reason[i] == 0 && static_cast<DropReason>(i) != DropReason::kTtlExpired) {
+    // figure that trace-derived loop counts get cross-checked against. The
+    // guard reasons follow the same convention so "guarded but never
+    // tripped" reads differently from "not guarded at all".
+    const auto reason = static_cast<DropReason>(i);
+    const bool always_shown = reason == DropReason::kTtlExpired ||
+                              reason == DropReason::kGuardSuppressed ||
+                              reason == DropReason::kGuardTtlClamped;
+    if (drops_by_reason[i] == 0 && !always_shown) {
       continue;
     }
     if (!out.empty()) {

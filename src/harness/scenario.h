@@ -10,12 +10,14 @@
 
 #include "src/device/network.h"
 #include "src/fault/fault_injector.h"
+#include "src/guard/collapse_watchdog.h"
 #include "src/harness/config.h"
 #include "src/sim/simulator.h"
 #include "src/stats/buffer_monitor.h"
 #include "src/stats/detour_recorder.h"
 #include "src/stats/fault_recorder.h"
 #include "src/stats/flow_recorder.h"
+#include "src/stats/guard_recorder.h"
 #include "src/stats/link_monitor.h"
 #include "src/trace/trace_session.h"
 #include "src/transport/flow_manager.h"
@@ -64,6 +66,16 @@ struct ScenarioResult {
   uint64_t retransmits = 0;
   uint64_t timeouts = 0;
 
+  // Overload guard (src/guard; zero when the guard is off).
+  uint64_t guard_trips = 0;             // ARMED -> SUPPRESSED breaker edges
+  uint64_t guard_transitions = 0;       // all breaker transitions
+  uint64_t guard_suppressed_drops = 0;  // drops_by_reason[guard-suppressed]
+  uint64_t guard_ttl_clamped_drops = 0; // drops_by_reason[guard-ttl-clamped]
+  double guard_time_suppressed_ms = 0;  // sim-ms suppressed, summed over switches
+  // Collapse watchdog (zero/false when the watchdog is off).
+  bool collapse_detected = false;
+  double collapse_onset_ms = 0;         // sim-ms of detection; 0 = none
+
   // Monitor outputs (populated when the corresponding monitor was enabled).
   std::vector<double> hot_fractions;
   std::vector<double> relative_hot_fractions;
@@ -95,6 +107,9 @@ class Scenario {
   FlowRecorder& recorder() { return recorder_; }
   DetourRecorder& detours() { return detour_recorder_; }
   FaultRecorder& faults() { return fault_recorder_; }
+  GuardRecorder& guard_stats() { return guard_recorder_; }
+  // Null unless config.net.guard.watchdog was set.
+  CollapseWatchdog* collapse_watchdog() { return collapse_watchdog_.get(); }
   LinkMonitor* link_monitor() { return link_monitor_.get(); }
   BufferMonitor* buffer_monitor() { return buffer_monitor_.get(); }
   QueryWorkload* query_workload() { return query_.get(); }
@@ -112,6 +127,8 @@ class Scenario {
   FlowRecorder recorder_;
   DetourRecorder detour_recorder_;
   FaultRecorder fault_recorder_;
+  GuardRecorder guard_recorder_;
+  std::unique_ptr<CollapseWatchdog> collapse_watchdog_;
   std::unique_ptr<fault::FaultInjector> fault_injector_;
   std::unique_ptr<BackgroundWorkload> background_;
   std::unique_ptr<QueryWorkload> query_;
@@ -125,9 +142,11 @@ ScenarioResult RunScenario(const ExperimentConfig& config);
 
 // Human-readable drop breakdown for table cells and log lines:
 // "ttl-expired=0;queue-overflow=12;fault-link-down=3". Nonzero reasons only,
-// in reason order — except ttl-expired, which is always present (even at
-// zero) so trace-derived loop counts have an explicit TTL-death figure to
-// cross-check against next to the detour stats.
+// in reason order — except ttl-expired, guard-suppressed, and
+// guard-ttl-clamped, which are always present (even at zero): ttl-expired so
+// trace-derived loop counts have an explicit TTL-death figure to cross-check
+// against, and the guard pair so a guarded run that never tripped is
+// visibly distinct from an unguarded run.
 std::string FormatDropBreakdown(const std::vector<uint64_t>& drops_by_reason);
 
 }  // namespace dibs

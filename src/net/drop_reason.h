@@ -5,7 +5,15 @@
 // Reasons 0-3 are the healthy-network outcomes; 4-7 come from the fault
 // subsystem (src/fault): administratively-downed links, crashed switches,
 // random loss on degraded links, and destinations whose every next-hop link
-// is dead. All of them are terminal states the conservation ledger accepts.
+// is dead. Reasons 8-9 come from the overload guard (src/guard): a tripped
+// per-switch circuit breaker falling back to drop-tail, and the adaptive
+// detour-TTL clamp refusing further detours under fabric-wide pressure.
+// Reason 10 refines the detour-decline vocabulary: the switch had
+// switch-facing neighbors but every one was paused or down (a fabric-wide
+// PFC storm or mass failure), so there was structurally nothing to try —
+// distinct from kNoDetourAvailable, where live candidates existed but all
+// were full. All of them are terminal states the conservation ledger
+// accepts.
 
 #ifndef SRC_NET_DROP_REASON_H_
 #define SRC_NET_DROP_REASON_H_
@@ -24,9 +32,12 @@ enum class DropReason : uint8_t {
   kFaultSwitchDown = 5,    // arrived at a crashed switch
   kFaultLossy = 6,         // random loss on a degraded link
   kFaultNoLiveRoute = 7,   // routes exist but every next-hop link is down
+  kGuardSuppressed = 8,    // breaker SUPPRESSED: detouring disabled on this switch
+  kGuardTtlClamped = 9,    // adaptive TTL: detour budget exhausted under pressure
+  kNoEligibleDetour = 10,  // every switch-facing port paused or down (PFC storm)
 };
 
-inline constexpr size_t kNumDropReasons = 8;
+inline constexpr size_t kNumDropReasons = 11;
 
 inline const char* DropReasonName(DropReason reason) {
   switch (reason) {
@@ -46,6 +57,12 @@ inline const char* DropReasonName(DropReason reason) {
       return "fault-lossy";
     case DropReason::kFaultNoLiveRoute:
       return "fault-no-live-route";
+    case DropReason::kGuardSuppressed:
+      return "guard-suppressed";
+    case DropReason::kGuardTtlClamped:
+      return "guard-ttl-clamped";
+    case DropReason::kNoEligibleDetour:
+      return "no-eligible-detour";
   }
   return "?";
 }
@@ -62,6 +79,12 @@ inline bool IsFaultDrop(DropReason reason) {
     default:
       return false;
   }
+}
+
+// True for the drop reasons introduced by the overload guard (src/guard) —
+// the population GuardRecorder attributes to breaker/TTL-clamp decisions.
+inline bool IsGuardDrop(DropReason reason) {
+  return reason == DropReason::kGuardSuppressed || reason == DropReason::kGuardTtlClamped;
 }
 
 }  // namespace dibs

@@ -41,9 +41,14 @@ enum class TraceEventType : uint8_t {
   kLinkDown = 13,      // ... effectively down (admin or crash)
   kSwitchUp = 14,      // switch restarted
   kSwitchDown = 15,    // switch crashed
+  // Overload-guard breaker transition (src/guard). Not a packet event: uid
+  // is 0 and the from/to GuardState values ride the numeric `port` and
+  // `queue_depth` fields (the codec round-trips every numeric field; the
+  // "reason" string is reserved for kDrop).
+  kGuardTransition = 16,
 };
 
-inline constexpr size_t kNumTraceEventTypes = 16;
+inline constexpr size_t kNumTraceEventTypes = 17;
 
 inline const char* TraceEventTypeName(TraceEventType t) {
   switch (t) {
@@ -79,6 +84,8 @@ inline const char* TraceEventTypeName(TraceEventType t) {
       return "switch-up";
     case TraceEventType::kSwitchDown:
       return "switch-down";
+    case TraceEventType::kGuardTransition:
+      return "guard-transition";
   }
   return "?";
 }

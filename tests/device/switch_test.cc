@@ -221,6 +221,77 @@ TEST(SwitchTest, JourneyRecordsDetourHops) {
   }
 }
 
+TEST(SwitchTest, PfcStormWithAllUplinksPausedDropsAsNoEligibleDetour) {
+  // Fabric-wide PFC storm seen from one edge switch: every switch-facing
+  // port is paused, so when the host-facing queue overflows the eligible
+  // detour set is structurally empty. That is kNoEligibleDetour — distinct
+  // from kNoDetourAvailable, which means live candidates existed but all
+  // were full.
+  NetworkConfig cfg;
+  cfg.switch_buffer_packets = 2;
+  cfg.ecn_threshold_packets = 0;
+  cfg.detour_policy = "random";
+  Simulator sim(7);
+  Network net(&sim, BuildPaperFatTree(), cfg);
+  DetourRecorder rec;
+  net.AddObserver(&rec);
+  int received = 0;
+  net.host(0).RegisterFlowReceiver(1, [&](Packet&&) { ++received; });
+  SwitchNode& edge =
+      net.switch_at(net.topology().ports(net.topology().host_node(0))[0].neighbor);
+  for (uint16_t i = 0; i < edge.num_ports(); ++i) {
+    if (edge.port(i).peer_is_switch()) {
+      edge.SetPortPaused(i, true);
+    }
+  }
+  // 3:1 overload on host 0's port from rack-mates; the 2-packet queue fills
+  // and every overflow packet reaches the detour decision point.
+  for (HostId s = 1; s <= 3; ++s) {
+    for (int i = 0; i < 10; ++i) {
+      net.host(s).Send(RawPacket(net, s, 0));
+    }
+  }
+  sim.Run();
+  EXPECT_GT(rec.drops(DropReason::kNoEligibleDetour), 0u);
+  EXPECT_EQ(rec.drops(DropReason::kNoDetourAvailable), 0u);
+  EXPECT_EQ(net.total_detours(), 0u);  // nothing eligible, so nothing moved
+  EXPECT_GT(received, 0);              // the desired queue still drains
+}
+
+TEST(SwitchTest, PartialPauseStillDetoursWithoutEligibilityDrops) {
+  // Same burst, but one uplink stays live: the eligible set is non-empty, so
+  // overflow detours instead of dying as no-eligible-detour.
+  NetworkConfig cfg;
+  cfg.switch_buffer_packets = 2;
+  cfg.ecn_threshold_packets = 0;
+  cfg.detour_policy = "random";
+  Simulator sim(7);
+  Network net(&sim, BuildPaperFatTree(), cfg);
+  DetourRecorder rec;
+  net.AddObserver(&rec);
+  net.host(0).RegisterFlowReceiver(1, [](Packet&&) {});
+  SwitchNode& edge =
+      net.switch_at(net.topology().ports(net.topology().host_node(0))[0].neighbor);
+  bool spared_one = false;
+  for (uint16_t i = 0; i < edge.num_ports(); ++i) {
+    if (edge.port(i).peer_is_switch()) {
+      if (!spared_one) {
+        spared_one = true;
+        continue;
+      }
+      edge.SetPortPaused(i, true);
+    }
+  }
+  for (HostId s = 1; s <= 3; ++s) {
+    for (int i = 0; i < 10; ++i) {
+      net.host(s).Send(RawPacket(net, s, 0));
+    }
+  }
+  sim.Run();
+  EXPECT_GT(net.total_detours(), 0u);
+  EXPECT_EQ(rec.drops(DropReason::kNoEligibleDetour), 0u);
+}
+
 TEST(SwitchTest, BufferedPacketAccounting) {
   Simulator sim;
   Network net(&sim, BuildPaperFatTree(), NetworkConfig{});

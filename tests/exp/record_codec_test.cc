@@ -39,7 +39,9 @@ RunRecord FullRecord() {
   r.result.flows_started = 5210;
   r.result.drops = 7;
   r.result.ttl_drops = 2;
-  r.result.drops_by_reason = {3, 0, 2, 0, 1, 0, 0, 1};
+  r.result.drops_by_reason = {3, 0, 2, 0, 1, 0, 0, 1, 4, 2, 6};
+  static_assert(kNumDropReasons == 11,
+                "extend the drops_by_reason fixture when adding reasons");
   r.result.fault_drops = 4;
   r.result.fault_events_applied = 6;
   r.result.fault_flows_stalled = 1;
@@ -52,6 +54,13 @@ RunRecord FullRecord() {
   r.result.detour_count_p99 = 40;
   r.result.retransmits = 17;
   r.result.timeouts = 5;
+  r.result.guard_trips = 3;
+  r.result.guard_transitions = 9;
+  r.result.guard_suppressed_drops = 4;
+  r.result.guard_ttl_clamped_drops = 2;
+  r.result.guard_time_suppressed_ms = 6.5;
+  r.result.collapse_detected = true;
+  r.result.collapse_onset_ms = 42.25;
   r.result.hot_fractions = {0.5, 0.25};
   r.result.relative_hot_fractions = {0.75};
   r.result.one_hop_free = {0.125, 0.0009765625};
@@ -80,6 +89,12 @@ TEST(RecordCodecTest, EncodeDecodeRoundTripsEveryField) {
   EXPECT_EQ(decoded.result.qct.count, original.result.qct.count);
   EXPECT_DOUBLE_EQ(decoded.result.qct.p99, original.result.qct.p99);
   EXPECT_EQ(decoded.result.drops_by_reason, original.result.drops_by_reason);
+  EXPECT_EQ(decoded.result.guard_trips, original.result.guard_trips);
+  EXPECT_EQ(decoded.result.guard_suppressed_drops,
+            original.result.guard_suppressed_drops);
+  EXPECT_EQ(decoded.result.collapse_detected, original.result.collapse_detected);
+  EXPECT_DOUBLE_EQ(decoded.result.collapse_onset_ms,
+                   original.result.collapse_onset_ms);
   EXPECT_EQ(decoded.result.hot_fractions, original.result.hot_fractions);
   EXPECT_EQ(decoded.result.one_hop_free, original.result.one_hop_free);
   EXPECT_EQ(decoded.result.events_processed, original.result.events_processed);

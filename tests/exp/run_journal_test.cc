@@ -72,6 +72,39 @@ TEST(DigestConfigTest, StableForEqualConfigsSensitiveToKnobs) {
   EXPECT_EQ(DigestConfig(positioned), DigestConfig(base));
 }
 
+TEST(DigestConfigTest, SensitiveToEveryGuardKnob) {
+  // Toggling the guard (or tuning any of its thresholds) changes forwarding
+  // decisions or recorded columns, so it must invalidate journal resume.
+  const ExperimentConfig base = DibsConfig();
+  ExperimentConfig guarded = base;
+  guarded.net.guard.enabled = true;
+  EXPECT_NE(DigestConfig(guarded), DigestConfig(base));
+
+  ExperimentConfig trip = guarded;
+  trip.net.guard.trip_detour_rate = 0.3;
+  EXPECT_NE(DigestConfig(trip), DigestConfig(guarded));
+
+  ExperimentConfig hold = guarded;
+  hold.net.guard.suppress_hold = Time::Millis(8);
+  EXPECT_NE(DigestConfig(hold), DigestConfig(guarded));
+
+  ExperimentConfig adaptive = guarded;
+  adaptive.net.guard.adaptive_ttl = true;
+  EXPECT_NE(DigestConfig(adaptive), DigestConfig(guarded));
+
+  ExperimentConfig budget = adaptive;
+  budget.net.guard.ttl_budget_min = 4;
+  EXPECT_NE(DigestConfig(budget), DigestConfig(adaptive));
+
+  ExperimentConfig watchdog = guarded;
+  watchdog.net.guard.watchdog = true;
+  EXPECT_NE(DigestConfig(watchdog), DigestConfig(guarded));
+
+  ExperimentConfig window = watchdog;
+  window.net.guard.collapse_window = Time::Millis(20);
+  EXPECT_NE(DigestConfig(window), DigestConfig(watchdog));
+}
+
 TEST(SweepFingerprintTest, SensitiveToNameOrderSeedAndConfig) {
   const std::vector<RunSpec> runs = SampleRuns();
   const uint64_t fp = SweepFingerprint("journal", runs);

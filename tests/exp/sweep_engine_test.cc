@@ -373,6 +373,53 @@ TEST(SweepEngineTest, ResumeReproducesByteIdenticalSinkOutput) {
   }
 }
 
+// Guarded variant of the resume contract: breaker state is rebuilt from
+// scratch on replayed rows, so a kill -9 mid-sweep must still reproduce the
+// guard columns (trips, suppressed drops, dwell) byte-for-byte.
+TEST(SweepEngineTest, GuardedSweepResumeIsByteIdentical) {
+  SweepSpec spec;
+  spec.name = "guard-resume";
+  spec.base = Tiny(DibsGuardConfig());
+  // Hair-trigger thresholds so the breaker actually trips in a tiny run.
+  spec.base.net.guard.window = Time::Millis(1);
+  spec.base.net.guard.min_window_packets = 16;
+  spec.base.net.guard.trip_detour_rate = 0.05;
+  spec.base.net.guard.rearm_detour_rate = 0.02;
+  spec.base.net.guard.suppress_hold = Time::Millis(2);
+  spec.base.net.switch_buffer_packets = 10;
+  spec.axes.push_back(SweepAxis::Of<int>(
+      "degree", {4, 8, 12, 15}, [](ExperimentConfig& c, int d) { c.incast_degree = d; }));
+  spec.seed = 11;
+
+  for (int jobs : {1, 8}) {
+    const std::string journal = JournalPath("guard_resume_j" + std::to_string(jobs));
+    std::remove(journal.c_str());
+    const SweepCapture full = RunJournaled(spec, journal, jobs, /*resume=*/false);
+    ASSERT_EQ(full.summary.ok, 4u) << "jobs=" << jobs;
+    // A sweep that never trips would vacuously pass — demand the storm.
+    uint64_t total_trips = 0;
+    for (const RunRecord& r : full.records) {
+      total_trips += r.result.guard_trips;
+    }
+    ASSERT_GT(total_trips, 0u) << "jobs=" << jobs;
+
+    TruncateJournal(journal, /*keep=*/2);
+    const SweepCapture resumed = RunJournaled(spec, journal, jobs, /*resume=*/true);
+    EXPECT_EQ(resumed.summary.resumed, 2u) << "jobs=" << jobs;
+    EXPECT_EQ(NormalizeJsonl(resumed.jsonl), NormalizeJsonl(full.jsonl))
+        << "jobs=" << jobs;
+    EXPECT_EQ(NormalizeCsv(resumed.csv), NormalizeCsv(full.csv)) << "jobs=" << jobs;
+    for (size_t i = 0; i < full.records.size(); ++i) {
+      EXPECT_EQ(resumed.records[i].result.guard_trips, full.records[i].result.guard_trips);
+      EXPECT_EQ(resumed.records[i].result.guard_suppressed_drops,
+                full.records[i].result.guard_suppressed_drops);
+      EXPECT_DOUBLE_EQ(resumed.records[i].result.guard_time_suppressed_ms,
+                       full.records[i].result.guard_time_suppressed_ms);
+    }
+    std::remove(journal.c_str());
+  }
+}
+
 TEST(SweepEngineTest, ResumedRowsReplayExactDoublesFromTheJournal) {
   // Beyond normalized-equality: the replayed rows' result fields round-trip
   // through the journal bit-exactly.

@@ -276,8 +276,9 @@ TEST(FaultModelTest, DegradedLinkJitterDelaysWithinBound) {
 
 // ---- ISSUE acceptance test ----
 // A hot ToR whose EVERY switch-facing neighbor has crashed must DROP overflow
-// packets (DropReason::kNoDetourAvailable) rather than detour them into dead
-// uplinks; with healthy neighbors the identical workload detours heavily.
+// packets (DropReason::kNoEligibleDetour: switch-facing ports exist but every
+// one is down) rather than detour them into dead uplinks; with healthy
+// neighbors the identical workload detours heavily.
 struct HotTorFixture {
   HotTorFixture() {
     tor = topo.AddNode(NodeKind::kSwitch, "tor");
@@ -344,7 +345,8 @@ TEST(FaultDibsInteractionTest, AllNeighborsCrashedMeansDropNotDetour) {
   // Not one packet was detoured — the policy saw every switch-facing port
   // down and declined — and not one reached a crashed neighbor.
   EXPECT_EQ(net.total_detours(), 0u);
-  EXPECT_GT(rec.drops(DropReason::kNoDetourAvailable), 0u);
+  EXPECT_GT(rec.drops(DropReason::kNoEligibleDetour), 0u);
+  EXPECT_EQ(rec.drops(DropReason::kNoDetourAvailable), 0u);
   EXPECT_EQ(rec.drops(DropReason::kFaultSwitchDown), 0u);
   EXPECT_EQ(rec.drops(DropReason::kTtlExpired), 0u);
 

@@ -35,6 +35,17 @@ TEST(ConfigPresetTest, DibsPreset) {
   EXPECT_EQ(c.net.initial_ttl, 255);
 }
 
+TEST(ConfigPresetTest, DibsGuardPreset) {
+  const ExperimentConfig c = DibsGuardConfig();
+  EXPECT_EQ(c.label, "DCTCP+DIBS+guard");
+  EXPECT_EQ(c.net.detour_policy, "random");  // still DIBS underneath
+  EXPECT_TRUE(c.net.guard.enabled);
+  EXPECT_TRUE(c.net.guard.adaptive_ttl);
+  EXPECT_TRUE(c.net.guard.watchdog);
+  // The hysteresis invariant GuardFabric checks at construction.
+  EXPECT_LT(c.net.guard.rearm_detour_rate, c.net.guard.trip_detour_rate);
+}
+
 TEST(ConfigPresetTest, InfiniteBufferPreset) {
   const ExperimentConfig c = InfiniteBufferConfig();
   EXPECT_EQ(c.net.switch_buffer_packets, 0u);
@@ -85,6 +96,30 @@ TEST(FigureBannerTest, ContainsIdAndCaption) {
   EXPECT_NE(os.str().find("Figure 9"), std::string::npos);
   EXPECT_NE(os.str().find("Query rate"), std::string::npos);
   EXPECT_NE(os.str().find("params here"), std::string::npos);
+}
+
+TEST(DropBreakdownTest, GuardReasonsAlwaysShownEvenAtZero) {
+  // A guarded run that never tripped must be visibly distinct from an
+  // unguarded run: the two guard reasons print at zero, like ttl-expired.
+  const std::string s = FormatDropBreakdown(std::vector<uint64_t>(kNumDropReasons, 0));
+  EXPECT_NE(s.find("ttl-expired=0"), std::string::npos) << s;
+  EXPECT_NE(s.find("guard-suppressed=0"), std::string::npos) << s;
+  EXPECT_NE(s.find("guard-ttl-clamped=0"), std::string::npos) << s;
+  // Other zero reasons stay hidden to keep the line short.
+  EXPECT_EQ(s.find("queue-overflow"), std::string::npos) << s;
+  EXPECT_EQ(s.find("no-eligible-detour"), std::string::npos) << s;
+}
+
+TEST(DropBreakdownTest, NonZeroReasonsAppearInReasonOrder) {
+  std::vector<uint64_t> drops(kNumDropReasons, 0);
+  drops[static_cast<size_t>(DropReason::kQueueOverflow)] = 12;
+  drops[static_cast<size_t>(DropReason::kNoEligibleDetour)] = 3;
+  const std::string s = FormatDropBreakdown(drops);
+  const size_t overflow = s.find("queue-overflow=12");
+  const size_t storm = s.find("no-eligible-detour=3");
+  ASSERT_NE(overflow, std::string::npos) << s;
+  ASSERT_NE(storm, std::string::npos) << s;
+  EXPECT_LT(overflow, storm);
 }
 
 TEST(ScenarioResultTest, FieldsAreCoherent) {

@@ -1,7 +1,10 @@
 #include "src/stats/detour_recorder.h"
 #include "src/stats/flow_recorder.h"
+#include "src/stats/guard_recorder.h"
 
 #include <gtest/gtest.h>
+
+#include <set>
 
 namespace dibs {
 namespace {
@@ -131,6 +134,45 @@ TEST(DetourRecorderTest, MarkedDeliveryCount) {
   rec.OnHostDeliver(0, DeliveredPacket(1, /*ce=*/true), Time::Zero());
   rec.OnHostDeliver(0, DeliveredPacket(0, /*ce=*/false), Time::Zero());
   EXPECT_EQ(rec.delivered_marked(), 1u);
+}
+
+TEST(GuardRecorderTest, CountsTripsAndTrippedSwitchesFromTransitions) {
+  GuardRecorder rec;
+  // Switch 7: full cycle. Switch 9: trips and stays open.
+  rec.OnGuardTransition(7, GuardState::kArmed, GuardState::kSuppressed, Time::Millis(1));
+  rec.OnGuardTransition(7, GuardState::kSuppressed, GuardState::kProbing, Time::Millis(5));
+  rec.OnGuardTransition(7, GuardState::kProbing, GuardState::kArmed, Time::Millis(7));
+  rec.OnGuardTransition(9, GuardState::kArmed, GuardState::kSuppressed, Time::Millis(2));
+  // PROBING -> SUPPRESSED re-opens but is not a fresh ARMED-edge trip.
+  rec.OnGuardTransition(7, GuardState::kArmed, GuardState::kSuppressed, Time::Millis(10));
+  rec.OnGuardTransition(7, GuardState::kSuppressed, GuardState::kProbing, Time::Millis(14));
+  rec.OnGuardTransition(7, GuardState::kProbing, GuardState::kSuppressed, Time::Millis(16));
+
+  EXPECT_EQ(rec.trips(), 3u);
+  EXPECT_EQ(rec.transition_count(), 7u);
+  EXPECT_EQ(rec.tripped_switches(), (std::set<int>{7, 9}));
+}
+
+TEST(GuardRecorderTest, SuppressedDwellIncludesOpenStretches) {
+  GuardRecorder rec;
+  rec.OnGuardTransition(7, GuardState::kArmed, GuardState::kSuppressed, Time::Millis(1));
+  rec.OnGuardTransition(7, GuardState::kSuppressed, GuardState::kProbing, Time::Millis(5));
+  rec.OnGuardTransition(9, GuardState::kArmed, GuardState::kSuppressed, Time::Millis(2));
+  // Switch 7 banked 4ms closed; switch 9 is still open at the 10ms cutoff.
+  EXPECT_DOUBLE_EQ(rec.SuppressedMsUpTo(Time::Millis(10)), 4.0 + 8.0);
+}
+
+TEST(GuardRecorderTest, AttributesGuardDropReasons) {
+  GuardRecorder rec;
+  Packet p = DeliveredPacket(0);
+  rec.OnDrop(1, p, DropReason::kGuardSuppressed, Time::Zero());
+  rec.OnDrop(1, p, DropReason::kGuardSuppressed, Time::Zero());
+  rec.OnDrop(1, p, DropReason::kGuardTtlClamped, Time::Zero());
+  rec.OnDrop(1, p, DropReason::kNoEligibleDetour, Time::Zero());
+  rec.OnDrop(1, p, DropReason::kQueueOverflow, Time::Zero());  // not guard's
+  EXPECT_EQ(rec.suppressed_drops(), 2u);
+  EXPECT_EQ(rec.ttl_clamped_drops(), 1u);
+  EXPECT_EQ(rec.no_eligible_detour_drops(), 1u);
 }
 
 }  // namespace

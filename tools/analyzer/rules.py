@@ -65,6 +65,9 @@ class RuleConfig:
     sim_state_classes = frozenset({
         "dibs::Simulator", "dibs::Network", "dibs::Port", "dibs::Packet",
         "dibs::SwitchNode", "dibs::HostNode", "dibs::Node", "dibs::Queue",
+        # The overload guard mutates forwarding behavior (breaker state, TTL
+        # clamp); GuardRecorder stays on the observer side of the line.
+        "dibs::DetourGuard", "dibs::GuardFabric",
     })
 
     # Extra signal-safety roots beyond registered handlers: the documented
