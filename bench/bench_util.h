@@ -37,6 +37,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/util/env.h"
 #include "src/exp/result_sink.h"
 #include "src/exp/sweep_engine.h"
 #include "src/exp/sweep_spec.h"
@@ -50,18 +51,14 @@ namespace bench {
 
 // Default simulated duration for one figure point.
 inline Time BenchDuration(Time fallback = Time::Millis(400)) {
-  if (const char* env = std::getenv("DIBS_BENCH_DURATION_MS"); env != nullptr) {
-    return Time::Millis(std::atoll(env));
-  }
-  return fallback;
+  return Time::Millis(env::Int("DIBS_BENCH_DURATION_MS",
+                               static_cast<int64_t>(fallback.ToMillis()), 1,
+                               86400000));
 }
 
 // Base seed for every figure run; replication r of a sweep uses seed + r.
 inline uint64_t BenchSeed() {
-  if (const char* env = std::getenv("DIBS_BENCH_SEED"); env != nullptr) {
-    return static_cast<uint64_t>(std::atoll(env));
-  }
-  return 1;
+  return static_cast<uint64_t>(env::Int("DIBS_BENCH_SEED", 1, 0));
 }
 
 // Applies the shared run-control settings to a preset config.
@@ -74,9 +71,7 @@ inline ExperimentConfig Standard(ExperimentConfig c, Time duration) {
 
 inline SweepOptions BenchSweepOptions() {
   SweepOptions opts;
-  if (const char* env = std::getenv("DIBS_RUN_TIMEOUT_SEC"); env != nullptr) {
-    opts.run_timeout_sec = std::atof(env);
-  }
+  opts.run_timeout_sec = env::Double("DIBS_RUN_TIMEOUT_SEC", opts.run_timeout_sec, 0, 86400);
   return opts;
 }
 
@@ -101,7 +96,7 @@ inline std::vector<RunRecord> RunBenchRuns(const std::string& name,
   MultiSink multi(std::move(sinks));
   SweepEngine engine(BenchSweepOptions());
   std::vector<RunRecord> records = engine.RunAll(name, std::move(runs), &multi);
-  if (const char* env = std::getenv("DIBS_REQUIRE_OK"); env != nullptr && env[0] != '0') {
+  if (env::Flag("DIBS_REQUIRE_OK", false)) {
     for (const RunRecord& r : records) {
       if (r.status != RunStatus::kOk) {
         DIBS_LOG(kFatal) << "DIBS_REQUIRE_OK: sweep '" << name << "' run " << r.index
@@ -109,7 +104,7 @@ inline std::vector<RunRecord> RunBenchRuns(const std::string& name,
       }
     }
   }
-  if (const char* env = std::getenv("DIBS_STRICT"); env != nullptr && env[0] != '0') {
+  if (env::Flag("DIBS_STRICT", false)) {
     const SweepSummary& s = engine.summary();
     if (!s.AllOk()) {
       DIBS_LOG(kError) << "DIBS_STRICT: sweep '" << name << "' finished with "

@@ -22,11 +22,20 @@
 #                           DIBS_VALIDATE=1, so every scenario test also
 #                           runs the invariant checker and its conservation
 #                           ledger must balance.
-#   7. fig11 smoke        — the incast-degree figure bench end-to-end with
+#   7. fuzz               — deterministic chaos harness (tools/dibs_fuzz):
+#                           the spec stream for the fixed seed must be
+#                           bit-reproducible, a 100-case fixed-seed fuzz run
+#                           (invariant + metamorphic oracles) must come back
+#                           clean under ASan+UBSan, and the planted-bug
+#                           repro (DIBS_CHAOS_PLANT=1) must replay red with
+#                           the bug in and green without — proof the oracle
+#                           actually bites. Corpus replay itself rides in
+#                           tier-1 ctest (chaos_corpus_replay).
+#   8. fig11 smoke        — the incast-degree figure bench end-to-end with
 #                           DIBS_VALIDATE=1 and DIBS_REQUIRE_OK=1 (any run
 #                           a validation throw fails is fatal), on the
 #                           tier-1 build tree.
-#   8. trace smoke        — fig11 again with DIBS_TRACE=1: tables must be
+#   9. trace smoke        — fig11 again with DIBS_TRACE=1: tables must be
 #                           byte-identical to the untraced stage-7 run, every
 #                           per-run trace JSONL must pass `trace_tool
 #                           summarize`, the Perfetto export must be valid
@@ -39,14 +48,14 @@
 #                           within 2% of the per-machine ratcheted baseline
 #                           cached in the build tree
 #                           (tools/check_trace_overhead.py).
-#   9. resilience smoke   — the fault-injection bench under ASan+UBSan with
+#  10. resilience smoke   — the fault-injection bench under ASan+UBSan with
 #                           DIBS_VALIDATE=1 (the conservation ledger must
 #                           balance through link flaps, lossy links, and a
 #                           ToR crash), run twice — DIBS_JOBS=1 then
 #                           DIBS_JOBS=8 — and diffed: tables byte-identical,
 #                           JSONL identical modulo host-side wall-clock
 #                           metadata (wall_ms / events_per_sec).
-#  10. crash-resume      — kills (SIGKILL) the resilience bench mid-sweep,
+#  11. crash-resume      — kills (SIGKILL) the resilience bench mid-sweep,
 #                           resumes it from its run journal (DIBS_RESUME=1),
 #                           and byte-diffs the resumed tables/JSONL against
 #                           an uninterrupted run at DIBS_JOBS=1 and 8 — the
@@ -55,7 +64,7 @@
 #                           machinery (DIBS_TEST_CRASH_RUN, DIBS_ISOLATE)
 #                           are exercised by tests/exp under stage 6's
 #                           ASan+UBSan config.
-#  11. guard             — overload-protection smoke: the guarded fig14
+#  12. guard             — overload-protection smoke: the guarded fig14
 #                           extreme-qps sweep under ASan+UBSan with
 #                           DIBS_VALIDATE=1 (guard drops must keep the
 #                           conservation ledger balanced, and the breaker
@@ -65,7 +74,7 @@
 #                           the collapse point and must not flag the
 #                           guarded run (DIBS_GUARD_EXPECT=1 makes the
 #                           bench exit nonzero otherwise).
-#  12. tsan              — sweep engine under ThreadSanitizer (tests/exp)
+#  13. tsan              — sweep engine under ThreadSanitizer (tests/exp)
 #                           so data races in the threaded layer fail the
 #                           pipeline.
 #
@@ -112,6 +121,35 @@ ASAN_OPTIONS="halt_on_error=1:detect_leaks=1" UBSAN_OPTIONS="halt_on_error=1" \
 # Scratch space shared by the smoke stages below.
 CI_TMP="$(mktemp -d)"
 trap 'rm -rf "$CI_TMP"' EXIT
+
+echo "== fuzz: deterministic chaos harness =="
+FUZZ_TMP="$CI_TMP/fuzz"
+mkdir -p "$FUZZ_TMP"
+cmake --build build -j"$JOBS" --target dibs_fuzz
+cmake --build build-asan -j"$JOBS" --target dibs_fuzz
+# The spec stream is a pure function of the seed: two generations must be
+# byte-identical (and the plain and sanitized builds must agree — a
+# divergence means undefined behavior leaked into the generator).
+./build/tools/dibs_fuzz gen --seed 20140401 --cases 200 > "$FUZZ_TMP/stream_a.jsonl"
+./build/tools/dibs_fuzz gen --seed 20140401 --cases 200 > "$FUZZ_TMP/stream_b.jsonl"
+./build-asan/tools/dibs_fuzz gen --seed 20140401 --cases 200 > "$FUZZ_TMP/stream_asan.jsonl"
+diff -u "$FUZZ_TMP/stream_a.jsonl" "$FUZZ_TMP/stream_b.jsonl"
+diff -u "$FUZZ_TMP/stream_a.jsonl" "$FUZZ_TMP/stream_asan.jsonl"
+echo "fuzz: spec stream bit-reproducible"
+# Fixed-seed 100-case smoke under ASan+UBSan: every case runs the invariant
+# ledger plus the metamorphic oracles and must come back clean.
+ASAN_OPTIONS="halt_on_error=1:detect_leaks=1" UBSAN_OPTIONS="halt_on_error=1" \
+  DIBS_FUZZ_SEED=20140401 DIBS_FUZZ_BUDGET=20000000 \
+  ./build-asan/tools/dibs_fuzz run --cases 100
+# Planted-bug round trip on the plain build: the committed corpus entry must
+# replay red with the known-bad ledger hook enabled and green without it —
+# if the red leg passes, the validate oracle has stopped biting.
+if DIBS_CHAOS_PLANT=1 ./build/tools/dibs_fuzz replay \
+    tests/chaos/corpus/seed7-case0-validate.json > /dev/null 2>&1; then
+  echo "fuzz: planted bug was NOT detected — oracle is blind"; exit 1
+fi
+./build/tools/dibs_fuzz replay tests/chaos/corpus
+echo "fuzz: planted-bug repro replays red with the bug, green without"
 
 echo "== smoke: fig11 incast-degree bench with DIBS_VALIDATE=1 =="
 DIBS_VALIDATE=1 DIBS_REQUIRE_OK=1 DIBS_BENCH_DURATION_MS=50 \

@@ -1,0 +1,77 @@
+// ChaosSpec: one fuzz case as plain data.
+//
+// A spec is the unit the chaos harness generates, runs, shrinks, and
+// commits to the repro corpus. It is deliberately NOT an ExperimentConfig:
+// it holds only the knobs the generator actually varies, in primitive units
+// (milliseconds, counts, policy names), so a serialized spec reads as a
+// scenario description and survives config-struct evolution. ToConfig()
+// lowers it onto a scheme preset; the fault schedule is stored as resolved
+// events (concrete link/switch ids for the topology the spec builds), so a
+// spec file is self-contained — no generator state needed to replay it.
+
+#ifndef SRC_CHAOS_CHAOS_SPEC_H_
+#define SRC_CHAOS_CHAOS_SPEC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/fault/fault_plan.h"
+#include "src/harness/config.h"
+
+namespace dibs::chaos {
+
+struct ChaosSpec {
+  // Identity: the scenario seed (all simulation randomness) and the case's
+  // position in its generated stream (diagnostics only).
+  uint64_t seed = 1;
+  int case_index = 0;
+
+  // Topology shape. "fat-tree" varies k and oversubscription; the other
+  // shapes ("leaf-spine", "linear") are fixed-size stress variants.
+  std::string topology = "fat-tree";
+  int fat_tree_k = 4;
+  double oversubscription = 1.0;
+
+  // Switch / detouring knobs.
+  int switch_buffer_packets = 100;
+  int ecn_threshold_packets = 20;
+  bool use_shared_buffer = false;
+  std::string detour_policy = "random";
+  int initial_ttl = 255;
+
+  // Overload guard (src/guard).
+  bool guard_enabled = false;
+  bool guard_adaptive_ttl = false;
+  bool guard_watchdog = false;
+
+  // Workload mix.
+  bool enable_background = false;
+  double bg_interarrival_ms = 40;
+  double qps = 600;
+  int incast_degree = 8;
+  uint64_t response_bytes = 20000;
+
+  // Run control (simulated time).
+  double duration_ms = 6;
+  double drain_ms = 60;
+
+  // Fault schedule, resolved to concrete targets. Event times are sim time.
+  std::vector<fault::FaultEvent> faults;
+
+  // Lowers the spec onto the matching scheme preset (DctcpConfig for
+  // detour_policy "none", DibsConfig otherwise).
+  ExperimentConfig ToConfig() const;
+
+  // Weighted size metric the shrinker minimizes and the acceptance check
+  // ("shrunk to at most half the original") is stated against. Monotone in
+  // every dimension a shrink transformation reduces.
+  double Size() const;
+
+  // Host count of the topology this spec builds (fault-target envelope).
+  int NumHosts() const;
+};
+
+}  // namespace dibs::chaos
+
+#endif  // SRC_CHAOS_CHAOS_SPEC_H_

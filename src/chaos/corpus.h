@@ -1,0 +1,52 @@
+// Repro corpus: shrunk failing specs persisted as self-contained JSON files.
+//
+// Each entry records the minimal spec, the oracle it failed, the master
+// seed / case index it was found at, and the repro command. Entries are
+// committed under tests/chaos/corpus/ once the underlying bug is fixed, and
+// a ctest target replays the whole directory on every CI run — the corpus
+// is a regression suite that wrote itself.
+
+#ifndef SRC_CHAOS_CORPUS_H_
+#define SRC_CHAOS_CORPUS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/chaos/chaos_spec.h"
+#include "src/chaos/oracles.h"
+
+namespace dibs::chaos {
+
+struct CorpusEntry {
+  ChaosSpec spec;
+  std::string oracle;        // the oracle the spec failed when found
+  std::string detail;        // failure description at find time
+  uint64_t master_seed = 0;  // fuzz stream the case came from
+  int found_case = 0;        // index in that stream (pre-shrink)
+};
+
+// Multi-line, human-reviewable JSON (the spec itself stays one line).
+std::string EncodeCorpusEntry(const CorpusEntry& entry);
+
+// Throws CodecError on malformed input.
+CorpusEntry DecodeCorpusEntry(const std::string& text);
+
+// Writes `entry` to `<dir>/<name>.json` (dir must exist). Returns the path.
+std::string WriteCorpusEntry(const std::string& dir, const std::string& name,
+                             const CorpusEntry& entry);
+
+// Reads and decodes one entry file; throws CodecError / std::runtime_error.
+CorpusEntry ReadCorpusEntry(const std::string& path);
+
+// All *.json files directly under `dir`, sorted by name (deterministic
+// replay order). Missing directory yields an empty list.
+std::vector<std::string> ListCorpus(const std::string& dir);
+
+// Replays one entry: re-runs its recorded oracle (heavy oracles forced on).
+// Returns the verdict — passed means the bug stays fixed.
+OracleVerdict ReplayEntry(const CorpusEntry& entry,
+                          const OracleOptions& options);
+
+}  // namespace dibs::chaos
+
+#endif  // SRC_CHAOS_CORPUS_H_

@@ -1,0 +1,64 @@
+#include "src/chaos/fuzz_driver.h"
+
+#include <ostream>
+
+#include "src/chaos/generator.h"
+#include "src/chaos/shrinker.h"
+#include "src/chaos/spec_codec.h"
+
+namespace dibs::chaos {
+
+FuzzReport RunFuzz(const FuzzOptions& options, std::ostream& log) {
+  FuzzReport report;
+  for (int i = 0; i < options.cases; ++i) {
+    const ChaosSpec spec = GenerateSpec(options.seed, i);
+    ++report.cases_run;
+    const OracleVerdict verdict = CheckSpec(spec, options.oracle);
+    if (verdict.passed) {
+      if ((i + 1) % 10 == 0) {
+        log << "chaos: " << (i + 1) << "/" << options.cases << " cases ok\n";
+      }
+      continue;
+    }
+
+    log << "chaos: case " << i << " (seed " << options.seed << ") failed '"
+        << verdict.oracle << "': " << verdict.detail << "\n";
+
+    FuzzFinding finding;
+    finding.original_size = spec.Size();
+    finding.entry.oracle = verdict.oracle;
+    finding.entry.detail = verdict.detail;
+    finding.entry.master_seed = options.seed;
+    finding.entry.found_case = i;
+    finding.entry.spec = spec;
+
+    if (options.shrink) {
+      const ShrinkResult shrunk = Shrink(spec, verdict.oracle, options.oracle);
+      finding.entry.spec = shrunk.minimal;
+      finding.shrink_evaluations = shrunk.evaluations;
+      log << "chaos: shrunk case " << i << " from size " << spec.Size()
+          << " to " << shrunk.minimal.Size() << " in " << shrunk.evaluations
+          << " evaluations\n";
+    }
+    log << "chaos: minimal spec: " << EncodeChaosSpec(finding.entry.spec)
+        << "\n";
+
+    if (!options.corpus_dir.empty()) {
+      const std::string name = "seed" + std::to_string(options.seed) + "-case" +
+                               std::to_string(i) + "-" + verdict.oracle;
+      finding.corpus_path =
+          WriteCorpusEntry(options.corpus_dir, name, finding.entry);
+      log << "chaos: wrote " << finding.corpus_path << "\n";
+    }
+
+    report.findings.push_back(std::move(finding));
+    if (static_cast<int>(report.findings.size()) >= options.max_failures) {
+      log << "chaos: stopping after " << report.findings.size()
+          << " failures\n";
+      break;
+    }
+  }
+  return report;
+}
+
+}  // namespace dibs::chaos

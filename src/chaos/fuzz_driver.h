@@ -1,0 +1,46 @@
+// Fuzz driver: the generate -> check -> shrink -> persist loop behind
+// `dibs_fuzz run`. Lives in the library (not the CLI) so tests drive the
+// exact code path CI runs.
+
+#ifndef SRC_CHAOS_FUZZ_DRIVER_H_
+#define SRC_CHAOS_FUZZ_DRIVER_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "src/chaos/corpus.h"
+#include "src/chaos/oracles.h"
+
+namespace dibs::chaos {
+
+struct FuzzOptions {
+  uint64_t seed = 1;        // master seed for the case stream
+  int cases = 100;          // cases to generate and check
+  bool shrink = true;       // delta-debug failures before reporting
+  std::string corpus_dir;   // when set, write shrunk failures here
+  int max_failures = 5;     // stop early after this many distinct failures
+  OracleOptions oracle;
+};
+
+struct FuzzFinding {
+  CorpusEntry entry;          // shrunk spec + failing oracle
+  std::string corpus_path;    // file written, empty when corpus_dir unset
+  double original_size = 0;   // Size() before shrinking
+  int shrink_evaluations = 0;
+};
+
+struct FuzzReport {
+  int cases_run = 0;
+  std::vector<FuzzFinding> findings;
+  bool ok() const { return findings.empty(); }
+};
+
+// Runs the loop, narrating progress and failures to `log` (pass std::cerr
+// from the CLI, a std::ostringstream from tests).
+FuzzReport RunFuzz(const FuzzOptions& options, std::ostream& log);
+
+}  // namespace dibs::chaos
+
+#endif  // SRC_CHAOS_FUZZ_DRIVER_H_

@@ -1,0 +1,30 @@
+// ScenarioGenerator: bounded-random ChaosSpecs from the deterministic PRNG.
+//
+// GenerateSpec(master_seed, i) is a pure function — the case stream for a
+// master seed is bit-identical across machines, worker counts, and process
+// isolation, because each case derives its own Rng from (master_seed, i)
+// via a SplitMix64 hash and draws fields in one fixed order. That is what
+// lets `dibs_fuzz replay` reproduce case #731 of seed 9 without re-running
+// cases #0..#730, and what makes the corpus self-verifying.
+//
+// The envelope (ranges below) is deliberately harsher than the paper's
+// sweeps — tiny buffers, TTL down to 8, 30% loss degrades, switch crashes
+// mid-incast — because the oracles assert invariants (conservation,
+// determinism, observer purity), not performance, and invariants are
+// cheapest to break at the edges.
+
+#ifndef SRC_CHAOS_GENERATOR_H_
+#define SRC_CHAOS_GENERATOR_H_
+
+#include <cstdint>
+
+#include "src/chaos/chaos_spec.h"
+
+namespace dibs::chaos {
+
+// Case `index` of the stream for `master_seed`. Pure and deterministic.
+ChaosSpec GenerateSpec(uint64_t master_seed, int index);
+
+}  // namespace dibs::chaos
+
+#endif  // SRC_CHAOS_GENERATOR_H_

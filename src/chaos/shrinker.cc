@@ -1,0 +1,187 @@
+#include "src/chaos/shrinker.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "src/chaos/spec_codec.h"
+
+namespace dibs::chaos {
+namespace {
+
+// A transformation proposes a smaller candidate, or returns false when it
+// does not apply (already minimal in that dimension). Candidates that do
+// not strictly reduce Size() are skipped by the driver.
+using Transform = std::function<bool(const ChaosSpec&, ChaosSpec*)>;
+
+std::vector<Transform> Transforms(const ChaosSpec& current) {
+  std::vector<Transform> out;
+
+  // 1. Drop ALL fault events — the single biggest simplification.
+  out.push_back([](const ChaosSpec& s, ChaosSpec* c) {
+    if (s.faults.empty()) {
+      return false;
+    }
+    *c = s;
+    c->faults.clear();
+    return true;
+  });
+
+  // 2. Drop the first half / second half of the fault events.
+  out.push_back([](const ChaosSpec& s, ChaosSpec* c) {
+    if (s.faults.size() < 2) {
+      return false;
+    }
+    *c = s;
+    c->faults.erase(c->faults.begin(),
+                    c->faults.begin() + static_cast<long>(s.faults.size() / 2));
+    return true;
+  });
+  out.push_back([](const ChaosSpec& s, ChaosSpec* c) {
+    if (s.faults.size() < 2) {
+      return false;
+    }
+    *c = s;
+    c->faults.resize(s.faults.size() - s.faults.size() / 2);
+    return true;
+  });
+
+  // 3. Drop each single fault event (index baked in per instance).
+  for (size_t i = 0; i < current.faults.size(); ++i) {
+    out.push_back([i](const ChaosSpec& s, ChaosSpec* c) {
+      if (i >= s.faults.size()) {
+        return false;
+      }
+      *c = s;
+      c->faults.erase(c->faults.begin() + static_cast<long>(i));
+      return true;
+    });
+  }
+
+  // 4. Disable background traffic.
+  out.push_back([](const ChaosSpec& s, ChaosSpec* c) {
+    if (!s.enable_background) {
+      return false;
+    }
+    *c = s;
+    c->enable_background = false;
+    return true;
+  });
+
+  // 5. Halve duration (floor 1ms). Dyadic halving keeps the codec exact.
+  out.push_back([](const ChaosSpec& s, ChaosSpec* c) {
+    if (s.duration_ms <= 1) {
+      return false;
+    }
+    *c = s;
+    c->duration_ms = std::max(1.0, s.duration_ms / 2);
+    return true;
+  });
+
+  // 6. Halve incast degree (floor 2).
+  out.push_back([](const ChaosSpec& s, ChaosSpec* c) {
+    if (s.incast_degree <= 2) {
+      return false;
+    }
+    *c = s;
+    c->incast_degree = std::max(2, s.incast_degree / 2);
+    return true;
+  });
+
+  // 7. Halve query rate (floor 50 qps).
+  out.push_back([](const ChaosSpec& s, ChaosSpec* c) {
+    if (s.qps <= 50) {
+      return false;
+    }
+    *c = s;
+    c->qps = std::max(50.0, s.qps / 2);
+    return true;
+  });
+
+  // 8. Halve response size (floor 2KB).
+  out.push_back([](const ChaosSpec& s, ChaosSpec* c) {
+    if (s.response_bytes <= 2000) {
+      return false;
+    }
+    *c = s;
+    c->response_bytes = std::max<uint64_t>(2000, s.response_bytes / 2);
+    return true;
+  });
+
+  // 9. Shrink the fat-tree (k 6 -> 4) and flatten oversubscription. Only
+  // valid when no fault events remain: fault targets are ids into the
+  // original topology.
+  out.push_back([](const ChaosSpec& s, ChaosSpec* c) {
+    if (s.topology != "fat-tree" || s.fat_tree_k <= 4 || !s.faults.empty()) {
+      return false;
+    }
+    *c = s;
+    c->fat_tree_k = 4;
+    c->incast_degree = std::min(c->incast_degree, c->NumHosts() - 1);
+    return true;
+  });
+  out.push_back([](const ChaosSpec& s, ChaosSpec* c) {
+    if (s.topology != "fat-tree" || s.oversubscription <= 1 ||
+        !s.faults.empty()) {
+      return false;
+    }
+    *c = s;
+    c->oversubscription = 1.0;
+    return true;
+  });
+
+  // 10. Switch off auxiliary subsystems.
+  out.push_back([](const ChaosSpec& s, ChaosSpec* c) {
+    if (!s.use_shared_buffer) {
+      return false;
+    }
+    *c = s;
+    c->use_shared_buffer = false;
+    return true;
+  });
+  out.push_back([](const ChaosSpec& s, ChaosSpec* c) {
+    if (!s.guard_enabled && !s.guard_adaptive_ttl && !s.guard_watchdog) {
+      return false;
+    }
+    *c = s;
+    c->guard_enabled = false;
+    c->guard_adaptive_ttl = false;
+    c->guard_watchdog = false;
+    return true;
+  });
+
+  return out;
+}
+
+}  // namespace
+
+ShrinkResult Shrink(const ChaosSpec& failing, const std::string& oracle,
+                    const OracleOptions& options) {
+  ShrinkResult result;
+  result.minimal = failing;
+
+  bool progressed = true;
+  while (progressed) {
+    progressed = false;
+    // Rebuilt each round: per-event transforms depend on the current count.
+    for (const Transform& transform : Transforms(result.minimal)) {
+      ChaosSpec candidate;
+      if (!transform(result.minimal, &candidate)) {
+        continue;
+      }
+      if (candidate.Size() >= result.minimal.Size()) {
+        continue;  // must strictly shrink or the fixpoint never terminates
+      }
+      ++result.evaluations;
+      if (!CheckOracle(candidate, oracle, options).passed) {
+        result.minimal = candidate;
+        ++result.accepted_steps;
+        result.trajectory.push_back(EncodeChaosSpec(candidate));
+        progressed = true;
+        break;  // restart from the highest-value transformation
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace dibs::chaos

@@ -1,0 +1,42 @@
+// Delta-debugging shrinker: minimizes a failing ChaosSpec while preserving
+// its failure.
+//
+// Greedy fixpoint over a FIXED, ORDERED transformation list (drop fault
+// events, halve duration, disable background, halve degree/qps/response,
+// shrink the topology, switch off auxiliary subsystems). A candidate is
+// accepted only if it still fails the SAME oracle that killed the original
+// spec — "fails differently" is a new bug, not a smaller repro — and every
+// accepted candidate strictly reduces ChaosSpec::Size(). Because the
+// transformation order is fixed and every oracle check is deterministic,
+// the shrink trajectory (the exact sequence of accepted specs) is itself
+// reproducible: shrinking the same spec twice yields byte-identical specs
+// at every step.
+
+#ifndef SRC_CHAOS_SHRINKER_H_
+#define SRC_CHAOS_SHRINKER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/chaos/chaos_spec.h"
+#include "src/chaos/oracles.h"
+
+namespace dibs::chaos {
+
+struct ShrinkResult {
+  ChaosSpec minimal;              // smallest spec that still fails `oracle`
+  int accepted_steps = 0;         // transformations that stuck
+  int evaluations = 0;            // oracle checks spent
+  // Encoded specs after each accepted step — the shrink trajectory, used by
+  // the determinism tests and handy in fuzz logs.
+  std::vector<std::string> trajectory;
+};
+
+// Shrinks `failing` (known to fail `oracle` under `options`) to a local
+// minimum. Every candidate evaluation re-checks only `oracle`.
+ShrinkResult Shrink(const ChaosSpec& failing, const std::string& oracle,
+                    const OracleOptions& options);
+
+}  // namespace dibs::chaos
+
+#endif  // SRC_CHAOS_SHRINKER_H_

@@ -1,0 +1,31 @@
+// JSON (de)serialization for ChaosSpec, on the shared strict layer in
+// src/exp/json.h. Encode and Decode round-trip exactly — the generator's
+// bit-reproducibility contract (`dibs_fuzz gen --seed S` emits byte-equal
+// streams on every machine) is stated over this encoding — and Decode is
+// as strict as the RunRecord codec: truncated input, non-finite numbers,
+// and type-confused fields throw CodecError rather than half-decoding into
+// a spec nobody generated.
+
+#ifndef SRC_CHAOS_SPEC_CODEC_H_
+#define SRC_CHAOS_SPEC_CODEC_H_
+
+#include <string>
+
+#include "src/chaos/chaos_spec.h"
+#include "src/exp/json.h"
+
+namespace dibs::chaos {
+
+// One-line JSON, fixed field order, no trailing newline.
+std::string EncodeChaosSpec(const ChaosSpec& spec);
+
+// Throws CodecError (src/exp/json.h) on malformed or out-of-envelope input.
+ChaosSpec DecodeChaosSpec(const std::string& text);
+
+// Decodes from an already-parsed JSON subtree (e.g. the "spec" field of a
+// corpus entry), applying the same envelope checks.
+ChaosSpec DecodeChaosSpec(const json::Value& root);
+
+}  // namespace dibs::chaos
+
+#endif  // SRC_CHAOS_SPEC_CODEC_H_

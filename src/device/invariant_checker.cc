@@ -5,8 +5,12 @@
 #include <vector>
 
 #include "src/net/packet_debug.h"
+#include "src/util/env.h"
 
 namespace dibs {
+
+InvariantChecker::InvariantChecker()
+    : plant_leak_(env::Flag("DIBS_CHAOS_PLANT", false)) {}
 
 void InvariantChecker::FailOn(const char* invariant, const Packet& p,
                               const std::string& detail) const {
@@ -99,6 +103,12 @@ void InvariantChecker::OnDrop(int node, const Packet& p, DropReason reason, Time
 void InvariantChecker::OnHostDeliver(HostId host, const Packet& p, Time at) {
   PacketState* state = Observe(p, "deliver");
   if (state == nullptr) {
+    return;
+  }
+  if (plant_leak_ && ++plant_counter_ % 64 == 0) {
+    // Planted bug (DIBS_CHAOS_PLANT): drop this delivery on the ledger
+    // floor. The packet stays "in flight" forever and the conservation
+    // check reports it as leaked.
     return;
   }
   state->terminal = Terminal::kDelivered;

@@ -37,6 +37,14 @@ namespace dibs {
 
 class InvariantChecker : public NetworkObserver {
  public:
+  // Reads DIBS_CHAOS_PLANT once: when set, the checker deliberately
+  // corrupts its own ledger (every 64th delivery is not recorded), so the
+  // conservation check reports a leak on any run big enough to deliver 64
+  // packets. A planted, deterministic bug — the chaos harness's end-to-end
+  // self-test (find -> shrink -> corpus replay) keys on it; never set it
+  // outside that test.
+  InvariantChecker();
+
   void OnHostSend(HostId host, const Packet& p, Time at) override;
   void OnDetour(int node, uint16_t detour_port, const Packet& p, Time at) override;
   void OnDrop(int node, const Packet& p, DropReason reason, Time at) override;
@@ -107,6 +115,10 @@ class InvariantChecker : public NetworkObserver {
   uint64_t on_wire_ = 0;
   uint64_t untracked_events_ = 0;
   bool untracked_seen_ = false;
+
+  // DIBS_CHAOS_PLANT state (see the constructor comment).
+  bool plant_leak_ = false;
+  uint64_t plant_counter_ = 0;
 };
 
 }  // namespace dibs

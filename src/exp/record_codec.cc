@@ -1,74 +1,28 @@
 #include "src/exp/record_codec.h"
 
-#include <cmath>
-#include <cstdio>
-#include <cstdlib>
-#include <limits>
-#include <map>
-#include <memory>
 #include <sstream>
+#include <utility>
 #include <vector>
+
+#include "src/exp/json.h"
 
 namespace dibs {
 namespace {
 
-// --- Encoding ---
-
-std::string JsonEscape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size() + 2);
-  for (char c : s) {
-    switch (c) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      case '\r':
-        out += "\\r";
-        break;
-      case '\t':
-        out += "\\t";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
-
-// Round-trip double formatting; JSON has no NaN/inf, so map those to null.
-std::string JsonNum(double v) {
-  if (!std::isfinite(v)) {
-    return "null";
-  }
-  std::ostringstream os;
-  os.precision(std::numeric_limits<double>::max_digits10);
-  os << v;
-  return os.str();
-}
+using json::Value;
 
 void WriteSummary(std::ostream& os, const Summary& s) {
-  os << "{\"count\":" << s.count << ",\"mean\":" << JsonNum(s.mean)
-     << ",\"min\":" << JsonNum(s.min) << ",\"max\":" << JsonNum(s.max)
-     << ",\"p50\":" << JsonNum(s.p50) << ",\"p90\":" << JsonNum(s.p90)
-     << ",\"p99\":" << JsonNum(s.p99) << ",\"p999\":" << JsonNum(s.p999) << "}";
+  os << "{\"count\":" << s.count << ",\"mean\":" << json::Num(s.mean)
+     << ",\"min\":" << json::Num(s.min) << ",\"max\":" << json::Num(s.max)
+     << ",\"p50\":" << json::Num(s.p50) << ",\"p90\":" << json::Num(s.p90)
+     << ",\"p99\":" << json::Num(s.p99) << ",\"p999\":" << json::Num(s.p999)
+     << "}";
 }
 
 void WriteDoubleArray(std::ostream& os, const std::vector<double>& v) {
   os << "[";
   for (size_t i = 0; i < v.size(); ++i) {
-    os << (i == 0 ? "" : ",") << JsonNum(v[i]);
+    os << (i == 0 ? "" : ",") << json::Num(v[i]);
   }
   os << "]";
 }
@@ -85,303 +39,22 @@ void WriteDropsByReason(std::ostream& os, const std::vector<uint64_t>& by_reason
   os << "}";
 }
 
-// --- Decoding: a minimal JSON value + recursive-descent parser, just big
-// enough for the flat, known-shape objects the encoder emits. ---
-
-struct JsonValue {
-  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject } kind =
-      Kind::kNull;
-  bool boolean = false;
-  double number = 0;
-  std::string text;  // unparsed token for numbers (exact uint64), string value
-  std::vector<JsonValue> items;
-  // Encoder emits keys at most once per object; insertion order is not
-  // significant for decoding, so a map keeps lookups simple.
-  std::map<std::string, JsonValue> fields;
-};
-
-class JsonParser {
- public:
-  explicit JsonParser(const std::string& input) : in_(input) {}
-
-  bool Parse(JsonValue* out, std::string* error) {
-    if (!ParseValue(out)) {
-      if (error != nullptr) {
-        *error = error_.empty() ? "malformed JSON" : error_;
-      }
-      return false;
-    }
-    SkipSpace();
-    if (pos_ != in_.size()) {
-      if (error != nullptr) {
-        *error = "trailing characters at offset " + std::to_string(pos_);
-      }
-      return false;
-    }
-    return true;
-  }
-
- private:
-  void SkipSpace() {
-    while (pos_ < in_.size() &&
-           (in_[pos_] == ' ' || in_[pos_] == '\t' || in_[pos_] == '\n' ||
-            in_[pos_] == '\r')) {
-      ++pos_;
-    }
-  }
-
-  bool Fail(const std::string& what) {
-    if (error_.empty()) {
-      error_ = what + " at offset " + std::to_string(pos_);
-    }
-    return false;
-  }
-
-  bool Consume(char c) {
-    SkipSpace();
-    if (pos_ >= in_.size() || in_[pos_] != c) {
-      return Fail(std::string("expected '") + c + "'");
-    }
-    ++pos_;
-    return true;
-  }
-
-  bool ParseLiteral(const char* word, JsonValue* out, JsonValue::Kind kind,
-                    bool boolean) {
-    for (const char* p = word; *p != '\0'; ++p, ++pos_) {
-      if (pos_ >= in_.size() || in_[pos_] != *p) {
-        return Fail("bad literal");
-      }
-    }
-    out->kind = kind;
-    out->boolean = boolean;
-    if (kind == JsonValue::Kind::kNull) {
-      out->number = std::numeric_limits<double>::quiet_NaN();
-    }
-    return true;
-  }
-
-  bool ParseString(std::string* out) {
-    if (!Consume('"')) {
-      return false;
-    }
-    out->clear();
-    while (pos_ < in_.size()) {
-      const char c = in_[pos_++];
-      if (c == '"') {
-        return true;
-      }
-      if (c != '\\') {
-        *out += c;
-        continue;
-      }
-      if (pos_ >= in_.size()) {
-        break;
-      }
-      const char esc = in_[pos_++];
-      switch (esc) {
-        case '"':
-          *out += '"';
-          break;
-        case '\\':
-          *out += '\\';
-          break;
-        case '/':
-          *out += '/';
-          break;
-        case 'n':
-          *out += '\n';
-          break;
-        case 'r':
-          *out += '\r';
-          break;
-        case 't':
-          *out += '\t';
-          break;
-        case 'b':
-          *out += '\b';
-          break;
-        case 'f':
-          *out += '\f';
-          break;
-        case 'u': {
-          if (pos_ + 4 > in_.size()) {
-            return Fail("truncated \\u escape");
-          }
-          const std::string hex = in_.substr(pos_, 4);
-          pos_ += 4;
-          const long code = std::strtol(hex.c_str(), nullptr, 16);
-          // The encoder only emits \u00xx for control bytes; decode those
-          // directly and pass anything wider through as '?' rather than
-          // growing a UTF-16 decoder nobody writes into these fields.
-          *out += code < 0x80 ? static_cast<char>(code) : '?';
-          break;
-        }
-        default:
-          return Fail("bad escape");
-      }
-    }
-    return Fail("unterminated string");
-  }
-
-  bool ParseValue(JsonValue* out) {
-    SkipSpace();
-    if (pos_ >= in_.size()) {
-      return Fail("unexpected end of input");
-    }
-    const char c = in_[pos_];
-    switch (c) {
-      case 'n':
-        return ParseLiteral("null", out, JsonValue::Kind::kNull, false);
-      case 't':
-        return ParseLiteral("true", out, JsonValue::Kind::kBool, true);
-      case 'f':
-        return ParseLiteral("false", out, JsonValue::Kind::kBool, false);
-      case '"':
-        out->kind = JsonValue::Kind::kString;
-        return ParseString(&out->text);
-      case '[': {
-        ++pos_;
-        out->kind = JsonValue::Kind::kArray;
-        SkipSpace();
-        if (pos_ < in_.size() && in_[pos_] == ']') {
-          ++pos_;
-          return true;
-        }
-        while (true) {
-          JsonValue item;
-          if (!ParseValue(&item)) {
-            return false;
-          }
-          out->items.push_back(std::move(item));
-          SkipSpace();
-          if (pos_ < in_.size() && in_[pos_] == ',') {
-            ++pos_;
-            continue;
-          }
-          return Consume(']');
-        }
-      }
-      case '{': {
-        ++pos_;
-        out->kind = JsonValue::Kind::kObject;
-        SkipSpace();
-        if (pos_ < in_.size() && in_[pos_] == '}') {
-          ++pos_;
-          return true;
-        }
-        while (true) {
-          std::string key;
-          if (!ParseString(&key) || !Consume(':')) {
-            return false;
-          }
-          JsonValue value;
-          if (!ParseValue(&value)) {
-            return false;
-          }
-          out->fields[key] = std::move(value);
-          SkipSpace();
-          if (pos_ < in_.size() && in_[pos_] == ',') {
-            ++pos_;
-            continue;
-          }
-          return Consume('}');
-        }
-      }
-      default: {
-        const size_t start = pos_;
-        while (pos_ < in_.size() &&
-               (in_[pos_] == '-' || in_[pos_] == '+' || in_[pos_] == '.' ||
-                in_[pos_] == 'e' || in_[pos_] == 'E' ||
-                (in_[pos_] >= '0' && in_[pos_] <= '9'))) {
-          ++pos_;
-        }
-        if (pos_ == start) {
-          return Fail("unexpected character");
-        }
-        out->kind = JsonValue::Kind::kNumber;
-        out->text = in_.substr(start, pos_ - start);
-        out->number = std::strtod(out->text.c_str(), nullptr);
-        return true;
-      }
-    }
-  }
-
-  const std::string& in_;
-  size_t pos_ = 0;
-  std::string error_;
-};
-
-// --- Field extraction helpers (absent keys leave the default in place) ---
-
-const JsonValue* Find(const JsonValue& obj, const std::string& key) {
-  if (obj.kind != JsonValue::Kind::kObject) {
-    return nullptr;
-  }
-  const auto it = obj.fields.find(key);
-  return it == obj.fields.end() ? nullptr : &it->second;
-}
-
-void GetDouble(const JsonValue& obj, const std::string& key, double* out) {
-  if (const JsonValue* v = Find(obj, key); v != nullptr) {
-    *out = v->kind == JsonValue::Kind::kNull
-               ? std::numeric_limits<double>::quiet_NaN()
-               : v->number;
-  }
-}
-
-template <typename T>
-void GetUint(const JsonValue& obj, const std::string& key, T* out) {
-  if (const JsonValue* v = Find(obj, key);
-      v != nullptr && v->kind == JsonValue::Kind::kNumber) {
-    // Parse from the raw token so full-range uint64 seeds survive (a double
-    // only holds 53 bits exactly).
-    *out = static_cast<T>(std::strtoull(v->text.c_str(), nullptr, 10));
-  }
-}
-
-void GetInt(const JsonValue& obj, const std::string& key, int* out) {
-  if (const JsonValue* v = Find(obj, key);
-      v != nullptr && v->kind == JsonValue::Kind::kNumber) {
-    *out = static_cast<int>(std::strtol(v->text.c_str(), nullptr, 10));
-  }
-}
-
-void GetString(const JsonValue& obj, const std::string& key, std::string* out) {
-  if (const JsonValue* v = Find(obj, key);
-      v != nullptr && v->kind == JsonValue::Kind::kString) {
-    *out = v->text;
-  }
-}
-
-void GetSummary(const JsonValue& obj, const std::string& key, Summary* out) {
-  const JsonValue* v = Find(obj, key);
-  if (v == nullptr || v->kind != JsonValue::Kind::kObject) {
+void GetSummary(const Value& obj, const std::string& key, Summary* out) {
+  const Value* v = json::Find(obj, key);
+  if (v == nullptr) {
     return;
   }
-  GetUint(*v, "count", &out->count);
-  GetDouble(*v, "mean", &out->mean);
-  GetDouble(*v, "min", &out->min);
-  GetDouble(*v, "max", &out->max);
-  GetDouble(*v, "p50", &out->p50);
-  GetDouble(*v, "p90", &out->p90);
-  GetDouble(*v, "p99", &out->p99);
-  GetDouble(*v, "p999", &out->p999);
-}
-
-void GetDoubleArray(const JsonValue& obj, const std::string& key,
-                    std::vector<double>* out) {
-  const JsonValue* v = Find(obj, key);
-  if (v == nullptr || v->kind != JsonValue::Kind::kArray) {
-    return;
+  if (v->kind != Value::Kind::kObject) {
+    throw CodecError(key, "expected summary object");
   }
-  out->clear();
-  out->reserve(v->items.size());
-  for (const JsonValue& item : v->items) {
-    out->push_back(item.kind == JsonValue::Kind::kNull
-                       ? std::numeric_limits<double>::quiet_NaN()
-                       : item.number);
-  }
+  json::ReadUint(*v, "count", &out->count);
+  json::ReadDouble(*v, "mean", &out->mean);
+  json::ReadDouble(*v, "min", &out->min);
+  json::ReadDouble(*v, "max", &out->max);
+  json::ReadDouble(*v, "p50", &out->p50);
+  json::ReadDouble(*v, "p90", &out->p90);
+  json::ReadDouble(*v, "p99", &out->p99);
+  json::ReadDouble(*v, "p999", &out->p999);
 }
 
 bool StatusFromName(const std::string& name, RunStatus* out) {
@@ -400,22 +73,22 @@ bool StatusFromName(const std::string& name, RunStatus* out) {
 
 std::string EncodeRunRecord(const RunRecord& r) {
   std::ostringstream os;
-  os << "{\"sweep\":\"" << JsonEscape(r.sweep) << "\",\"run\":" << r.index
+  os << "{\"sweep\":\"" << json::Escape(r.sweep) << "\",\"run\":" << r.index
      << ",\"axes\":{";
   for (size_t i = 0; i < r.points.size(); ++i) {
-    os << (i == 0 ? "" : ",") << "\"" << JsonEscape(r.points[i].axis) << "\":\""
-       << JsonEscape(r.points[i].value) << "\"";
+    os << (i == 0 ? "" : ",") << "\"" << json::Escape(r.points[i].axis)
+       << "\":\"" << json::Escape(r.points[i].value) << "\"";
   }
   os << "},\"replication\":" << r.replication << ",\"seed\":" << r.seed
      << ",\"status\":\"" << RunStatusName(r.status)
      << "\",\"attempts\":" << r.attempts << ",\"error\":\""
-     << JsonEscape(r.error) << "\",\"wall_ms\":" << JsonNum(r.wall_ms)
-     << ",\"events_per_sec\":" << JsonNum(r.events_per_sec) << ",\"result\":{";
+     << json::Escape(r.error) << "\",\"wall_ms\":" << json::Num(r.wall_ms)
+     << ",\"events_per_sec\":" << json::Num(r.events_per_sec) << ",\"result\":{";
 
   const ScenarioResult& s = r.result;
-  os << "\"qct99_ms\":" << JsonNum(s.qct99_ms)
-     << ",\"bg_fct99_ms\":" << JsonNum(s.bg_fct99_ms)
-     << ",\"bg_fct99_all_ms\":" << JsonNum(s.bg_fct99_all_ms) << ",\"qct\":";
+  os << "\"qct99_ms\":" << json::Num(s.qct99_ms)
+     << ",\"bg_fct99_ms\":" << json::Num(s.bg_fct99_ms)
+     << ",\"bg_fct99_all_ms\":" << json::Num(s.bg_fct99_all_ms) << ",\"qct\":";
   WriteSummary(os, s.qct);
   os << ",\"bg_fct_short\":";
   WriteSummary(os, s.bg_fct_short);
@@ -429,12 +102,12 @@ std::string EncodeRunRecord(const RunRecord& r) {
      << ",\"fault_events_applied\":" << s.fault_events_applied
      << ",\"fault_flows_stalled\":" << s.fault_flows_stalled
      << ",\"fault_flows_recovered\":" << s.fault_flows_recovered
-     << ",\"fault_recovery_ms_max\":" << JsonNum(s.fault_recovery_ms_max)
+     << ",\"fault_recovery_ms_max\":" << json::Num(s.fault_recovery_ms_max)
      << ",\"detours\":" << s.detours
      << ",\"delivered_packets\":" << s.delivered_packets
-     << ",\"detoured_fraction\":" << JsonNum(s.detoured_fraction)
-     << ",\"query_detour_share\":" << JsonNum(s.query_detour_share)
-     << ",\"detour_count_p99\":" << JsonNum(s.detour_count_p99)
+     << ",\"detoured_fraction\":" << json::Num(s.detoured_fraction)
+     << ",\"query_detour_share\":" << json::Num(s.query_detour_share)
+     << ",\"detour_count_p99\":" << json::Num(s.detour_count_p99)
      << ",\"queueing_delay_us\":";
   WriteSummary(os, s.queueing_delay_us);
   os << ",\"loop_packets\":" << s.loop_packets
@@ -443,9 +116,9 @@ std::string EncodeRunRecord(const RunRecord& r) {
      << ",\"guard_transitions\":" << s.guard_transitions
      << ",\"guard_suppressed_drops\":" << s.guard_suppressed_drops
      << ",\"guard_ttl_clamped_drops\":" << s.guard_ttl_clamped_drops
-     << ",\"guard_time_suppressed_ms\":" << JsonNum(s.guard_time_suppressed_ms)
+     << ",\"guard_time_suppressed_ms\":" << json::Num(s.guard_time_suppressed_ms)
      << ",\"collapse_detected\":" << (s.collapse_detected ? "true" : "false")
-     << ",\"collapse_onset_ms\":" << JsonNum(s.collapse_onset_ms)
+     << ",\"collapse_onset_ms\":" << json::Num(s.collapse_onset_ms)
      << ",\"hot_fractions\":";
   WriteDoubleArray(os, s.hot_fractions);
   os << ",\"relative_hot_fractions\":";
@@ -460,11 +133,11 @@ std::string EncodeRunRecord(const RunRecord& r) {
 
 bool DecodeRunRecord(const std::string& line, RunRecord* record,
                      std::string* error) {
-  JsonValue root;
-  if (!JsonParser(line).Parse(&root, error)) {
+  Value root;
+  if (!json::Parse(line, &root, error)) {
     return false;
   }
-  if (root.kind != JsonValue::Kind::kObject) {
+  if (root.kind != Value::Kind::kObject) {
     if (error != nullptr) {
       *error = "record is not a JSON object";
     }
@@ -472,110 +145,126 @@ bool DecodeRunRecord(const std::string& line, RunRecord* record,
   }
 
   RunRecord r;
-  GetInt(root, "run", &r.index);
-  GetString(root, "sweep", &r.sweep);
-  GetInt(root, "replication", &r.replication);
-  GetUint(root, "seed", &r.seed);
-  GetInt(root, "attempts", &r.attempts);
-  GetString(root, "error", &r.error);
-  GetDouble(root, "wall_ms", &r.wall_ms);
-  GetDouble(root, "events_per_sec", &r.events_per_sec);
+  try {
+    json::ReadInt(root, "run", &r.index);
+    json::ReadString(root, "sweep", &r.sweep);
+    json::ReadInt(root, "replication", &r.replication);
+    json::ReadUint(root, "seed", &r.seed);
+    json::ReadInt(root, "attempts", &r.attempts);
+    json::ReadString(root, "error", &r.error);
+    json::ReadDouble(root, "wall_ms", &r.wall_ms);
+    json::ReadDouble(root, "events_per_sec", &r.events_per_sec);
 
-  std::string status_name = RunStatusName(RunStatus::kOk);
-  GetString(root, "status", &status_name);
-  if (!StatusFromName(status_name, &r.status)) {
+    std::string status_name = RunStatusName(RunStatus::kOk);
+    json::ReadString(root, "status", &status_name);
+    if (!StatusFromName(status_name, &r.status)) {
+      throw CodecError("status", "unknown status '" + status_name + "'");
+    }
+
+    // The encoder writes axes as an object; key order in the line is the
+    // matrix axis order, but json::Value stores objects as a sorted map.
+    // Re-scan the raw axes object textually so RunRecord::points preserves
+    // axis order (FindRecord and CSV folding depend on it).
+    if (const Value* axes = json::Find(root, "axes"); axes != nullptr) {
+      if (axes->kind != Value::Kind::kObject) {
+        throw CodecError("axes", "expected object");
+      }
+      for (const auto& [key, value] : axes->fields) {
+        if (value.kind != Value::Kind::kString) {
+          throw CodecError("axes." + key, "expected string label");
+        }
+      }
+      if (!axes->fields.empty()) {
+        const size_t open = line.find("\"axes\":{");
+        if (open != std::string::npos) {
+          size_t pos = open + 8;
+          while (pos < line.size() && line[pos] != '}') {
+            const size_t key_start = line.find('"', pos);
+            const size_t key_end = line.find('"', key_start + 1);
+            const size_t val_start = line.find('"', key_end + 1);
+            const size_t val_end = line.find('"', val_start + 1);
+            if (key_end == std::string::npos || val_end == std::string::npos) {
+              break;
+            }
+            const std::string key =
+                line.substr(key_start + 1, key_end - key_start - 1);
+            const auto it = axes->fields.find(key);
+            if (it != axes->fields.end()) {
+              r.points.push_back({key, it->second.text});
+            }
+            pos = val_end + 1;
+          }
+        }
+        // Fallback (hand-written input with escaped axis names): sorted order.
+        if (r.points.size() != axes->fields.size()) {
+          r.points.clear();
+          for (const auto& [key, value] : axes->fields) {
+            r.points.push_back({key, value.text});
+          }
+        }
+      }
+    }
+
+    if (const Value* res = json::Find(root, "result"); res != nullptr) {
+      if (res->kind != Value::Kind::kObject) {
+        throw CodecError("result", "expected object");
+      }
+      ScenarioResult& s = r.result;
+      json::ReadDouble(*res, "qct99_ms", &s.qct99_ms);
+      json::ReadDouble(*res, "bg_fct99_ms", &s.bg_fct99_ms);
+      json::ReadDouble(*res, "bg_fct99_all_ms", &s.bg_fct99_all_ms);
+      GetSummary(*res, "qct", &s.qct);
+      GetSummary(*res, "bg_fct_short", &s.bg_fct_short);
+      json::ReadUint(*res, "queries_completed", &s.queries_completed);
+      json::ReadUint(*res, "queries_launched", &s.queries_launched);
+      json::ReadUint(*res, "flows_completed", &s.flows_completed);
+      json::ReadUint(*res, "flows_started", &s.flows_started);
+      json::ReadUint(*res, "drops", &s.drops);
+      json::ReadUint(*res, "ttl_drops", &s.ttl_drops);
+      if (const Value* by = json::Find(*res, "drops_by_reason"); by != nullptr) {
+        if (by->kind != Value::Kind::kObject) {
+          throw CodecError("drops_by_reason", "expected object");
+        }
+        s.drops_by_reason.assign(kNumDropReasons, 0);
+        for (size_t i = 0; i < kNumDropReasons; ++i) {
+          json::ReadUint(*by, DropReasonName(static_cast<DropReason>(i)),
+                         &s.drops_by_reason[i]);
+        }
+      }
+      json::ReadUint(*res, "fault_drops", &s.fault_drops);
+      json::ReadUint(*res, "fault_events_applied", &s.fault_events_applied);
+      json::ReadUint(*res, "fault_flows_stalled", &s.fault_flows_stalled);
+      json::ReadUint(*res, "fault_flows_recovered", &s.fault_flows_recovered);
+      json::ReadDouble(*res, "fault_recovery_ms_max", &s.fault_recovery_ms_max);
+      json::ReadUint(*res, "detours", &s.detours);
+      json::ReadUint(*res, "delivered_packets", &s.delivered_packets);
+      json::ReadDouble(*res, "detoured_fraction", &s.detoured_fraction);
+      json::ReadDouble(*res, "query_detour_share", &s.query_detour_share);
+      json::ReadDouble(*res, "detour_count_p99", &s.detour_count_p99);
+      GetSummary(*res, "queueing_delay_us", &s.queueing_delay_us);
+      json::ReadUint(*res, "loop_packets", &s.loop_packets);
+      json::ReadUint(*res, "retransmits", &s.retransmits);
+      json::ReadUint(*res, "timeouts", &s.timeouts);
+      json::ReadUint(*res, "guard_trips", &s.guard_trips);
+      json::ReadUint(*res, "guard_transitions", &s.guard_transitions);
+      json::ReadUint(*res, "guard_suppressed_drops", &s.guard_suppressed_drops);
+      json::ReadUint(*res, "guard_ttl_clamped_drops", &s.guard_ttl_clamped_drops);
+      json::ReadDouble(*res, "guard_time_suppressed_ms",
+                       &s.guard_time_suppressed_ms);
+      json::ReadBool(*res, "collapse_detected", &s.collapse_detected);
+      json::ReadDouble(*res, "collapse_onset_ms", &s.collapse_onset_ms);
+      json::ReadDoubleArray(*res, "hot_fractions", &s.hot_fractions);
+      json::ReadDoubleArray(*res, "relative_hot_fractions",
+                            &s.relative_hot_fractions);
+      json::ReadDoubleArray(*res, "one_hop_free", &s.one_hop_free);
+      json::ReadDoubleArray(*res, "two_hop_free", &s.two_hop_free);
+      json::ReadUint(*res, "events_processed", &s.events_processed);
+    }
+  } catch (const CodecError& e) {
     if (error != nullptr) {
-      *error = "unknown status '" + status_name + "'";
+      *error = e.what();
     }
     return false;
-  }
-
-  // The encoder writes axes as an object; key order in the line is the
-  // matrix axis order, but JsonValue stores objects as a sorted map. Re-scan
-  // the raw axes object textually so RunRecord::points preserves axis order
-  // (FindRecord and CSV folding depend on it).
-  if (const JsonValue* axes = Find(root, "axes");
-      axes != nullptr && axes->kind == JsonValue::Kind::kObject &&
-      !axes->fields.empty()) {
-    const size_t open = line.find("\"axes\":{");
-    if (open != std::string::npos) {
-      size_t pos = open + 8;
-      while (pos < line.size() && line[pos] != '}') {
-        const size_t key_start = line.find('"', pos);
-        const size_t key_end = line.find('"', key_start + 1);
-        const size_t val_start = line.find('"', key_end + 1);
-        const size_t val_end = line.find('"', val_start + 1);
-        if (key_end == std::string::npos || val_end == std::string::npos) {
-          break;
-        }
-        const std::string key = line.substr(key_start + 1, key_end - key_start - 1);
-        const auto it = axes->fields.find(key);
-        if (it != axes->fields.end()) {
-          r.points.push_back({key, it->second.text});
-        }
-        pos = val_end + 1;
-      }
-    }
-    // Fallback (hand-written input with escaped axis names): sorted order.
-    if (r.points.size() != axes->fields.size()) {
-      r.points.clear();
-      for (const auto& [key, value] : axes->fields) {
-        r.points.push_back({key, value.text});
-      }
-    }
-  }
-
-  const JsonValue* res = Find(root, "result");
-  if (res != nullptr && res->kind == JsonValue::Kind::kObject) {
-    ScenarioResult& s = r.result;
-    GetDouble(*res, "qct99_ms", &s.qct99_ms);
-    GetDouble(*res, "bg_fct99_ms", &s.bg_fct99_ms);
-    GetDouble(*res, "bg_fct99_all_ms", &s.bg_fct99_all_ms);
-    GetSummary(*res, "qct", &s.qct);
-    GetSummary(*res, "bg_fct_short", &s.bg_fct_short);
-    GetUint(*res, "queries_completed", &s.queries_completed);
-    GetUint(*res, "queries_launched", &s.queries_launched);
-    GetUint(*res, "flows_completed", &s.flows_completed);
-    GetUint(*res, "flows_started", &s.flows_started);
-    GetUint(*res, "drops", &s.drops);
-    GetUint(*res, "ttl_drops", &s.ttl_drops);
-    if (const JsonValue* by = Find(*res, "drops_by_reason");
-        by != nullptr && by->kind == JsonValue::Kind::kObject) {
-      s.drops_by_reason.assign(kNumDropReasons, 0);
-      for (size_t i = 0; i < kNumDropReasons; ++i) {
-        GetUint(*by, DropReasonName(static_cast<DropReason>(i)),
-                &s.drops_by_reason[i]);
-      }
-    }
-    GetUint(*res, "fault_drops", &s.fault_drops);
-    GetUint(*res, "fault_events_applied", &s.fault_events_applied);
-    GetUint(*res, "fault_flows_stalled", &s.fault_flows_stalled);
-    GetUint(*res, "fault_flows_recovered", &s.fault_flows_recovered);
-    GetDouble(*res, "fault_recovery_ms_max", &s.fault_recovery_ms_max);
-    GetUint(*res, "detours", &s.detours);
-    GetUint(*res, "delivered_packets", &s.delivered_packets);
-    GetDouble(*res, "detoured_fraction", &s.detoured_fraction);
-    GetDouble(*res, "query_detour_share", &s.query_detour_share);
-    GetDouble(*res, "detour_count_p99", &s.detour_count_p99);
-    GetSummary(*res, "queueing_delay_us", &s.queueing_delay_us);
-    GetUint(*res, "loop_packets", &s.loop_packets);
-    GetUint(*res, "retransmits", &s.retransmits);
-    GetUint(*res, "timeouts", &s.timeouts);
-    GetUint(*res, "guard_trips", &s.guard_trips);
-    GetUint(*res, "guard_transitions", &s.guard_transitions);
-    GetUint(*res, "guard_suppressed_drops", &s.guard_suppressed_drops);
-    GetUint(*res, "guard_ttl_clamped_drops", &s.guard_ttl_clamped_drops);
-    GetDouble(*res, "guard_time_suppressed_ms", &s.guard_time_suppressed_ms);
-    if (const JsonValue* v = Find(*res, "collapse_detected");
-        v != nullptr && v->kind == JsonValue::Kind::kBool) {
-      s.collapse_detected = v->boolean;
-    }
-    GetDouble(*res, "collapse_onset_ms", &s.collapse_onset_ms);
-    GetDoubleArray(*res, "hot_fractions", &s.hot_fractions);
-    GetDoubleArray(*res, "relative_hot_fractions", &s.relative_hot_fractions);
-    GetDoubleArray(*res, "one_hop_free", &s.one_hop_free);
-    GetDoubleArray(*res, "two_hop_free", &s.two_hop_free);
-    GetUint(*res, "events_processed", &s.events_processed);
   }
 
   *record = std::move(r);

@@ -24,9 +24,12 @@ namespace dibs {
 std::string EncodeRunRecord(const RunRecord& record);
 
 // Parses a line produced by EncodeRunRecord. Returns false (and fills
-// `error` when non-null) on malformed input; unknown keys are ignored so
-// older readers tolerate newer writers. JSON null decodes to NaN, matching
-// the encoder's NaN/inf -> null mapping.
+// `error` when non-null) on malformed input: truncated or trailing-garbage
+// JSON, non-finite number tokens ("1e999"), and type-confused fields (a
+// string where a count belongs, a negative token in a uint field) are all
+// rejected — see src/exp/json.h. Unknown keys are ignored so older readers
+// tolerate newer writers. JSON null decodes to NaN, matching the encoder's
+// NaN/inf -> null mapping.
 bool DecodeRunRecord(const std::string& line, RunRecord* record,
                      std::string* error = nullptr);
 

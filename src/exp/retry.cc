@@ -1,29 +1,20 @@
 #include "src/exp/retry.h"
 
 #include <algorithm>
-#include <cstdlib>
+
+#include "src/util/env.h"
 
 namespace dibs {
 
 RetryPolicy RetryPolicy::Resolved() const {
   RetryPolicy r = *this;
   if (r.max_attempts <= 0) {
-    r.max_attempts = 1;
-    if (const char* env = std::getenv("DIBS_MAX_ATTEMPTS"); env != nullptr) {
-      const int parsed = std::atoi(env);
-      if (parsed > 0) {
-        r.max_attempts = parsed;
-      }
-    }
+    // Checked parse: "DIBS_MAX_ATTEMPTS=fuor" throws EnvError instead of
+    // silently degrading to one attempt.
+    r.max_attempts = static_cast<int>(env::Int("DIBS_MAX_ATTEMPTS", 1, 1, 1000));
   }
   if (r.initial_ms < 0) {
-    r.initial_ms = 200;
-    if (const char* env = std::getenv("DIBS_RETRY_BACKOFF_MS"); env != nullptr) {
-      const double parsed = std::atof(env);
-      if (parsed >= 0) {
-        r.initial_ms = parsed;
-      }
-    }
+    r.initial_ms = env::Double("DIBS_RETRY_BACKOFF_MS", 200, 0, 3600000);
   }
   return r;
 }

@@ -16,6 +16,7 @@
 #include "src/exp/process_runner.h"
 #include "src/exp/progress.h"
 #include "src/exp/run_journal.h"
+#include "src/util/env.h"
 #include "src/util/logging.h"
 
 namespace dibs {
@@ -24,15 +25,7 @@ namespace {
 using Clock = std::chrono::steady_clock;
 
 bool ProgressEnabled(bool default_on) {
-  if (const char* env = std::getenv("DIBS_PROGRESS"); env != nullptr) {
-    return env[0] != '0';
-  }
-  return default_on;
-}
-
-bool EnvFlag(const char* name) {
-  const char* env = std::getenv(name);
-  return env != nullptr && env[0] != '\0' && env[0] != '0';
+  return env::Flag("DIBS_PROGRESS", default_on);
 }
 
 // Copies `options` with every env-defaulted knob resolved to its effective
@@ -41,13 +34,7 @@ SweepOptions ResolveOptions(SweepOptions options) {
   options.retry = options.retry.Resolved();
   options.isolate = SweepEngine::ResolveIsolation(options.isolate);
   if (options.watchdog_grace_sec < 0) {
-    options.watchdog_grace_sec = 5;
-    if (const char* env = std::getenv("DIBS_WATCHDOG_GRACE_SEC"); env != nullptr) {
-      const double parsed = std::atof(env);
-      if (parsed >= 0) {
-        options.watchdog_grace_sec = parsed;
-      }
-    }
+    options.watchdog_grace_sec = env::Double("DIBS_WATCHDOG_GRACE_SEC", 5, 0, 86400);
   }
   if (options.journal_path.empty()) {
     if (const char* env = std::getenv("DIBS_JOURNAL"); env != nullptr) {
@@ -55,7 +42,7 @@ SweepOptions ResolveOptions(SweepOptions options) {
     }
   }
   if (options.resume < 0) {
-    options.resume = EnvFlag("DIBS_RESUME") ? 1 : 0;
+    options.resume = env::Flag("DIBS_RESUME", false) ? 1 : 0;
   }
   return options;
 }
@@ -311,11 +298,11 @@ int SweepEngine::ResolveJobs(int requested) {
   if (requested > 0) {
     return requested;
   }
-  if (const char* env = std::getenv("DIBS_JOBS"); env != nullptr) {
-    const int jobs = std::atoi(env);
-    if (jobs > 0) {
-      return jobs;
-    }
+  // "DIBS_JOBS=fuor" used to atoi() to 0 and silently fall back to the
+  // hardware count; now it throws a typed EnvError up front. 0 = auto.
+  const int jobs = static_cast<int>(env::Int("DIBS_JOBS", 0, 0, 4096));
+  if (jobs > 0) {
+    return jobs;
   }
   const unsigned hw = std::thread::hardware_concurrency();
   return hw > 0 ? static_cast<int>(hw) : 1;
@@ -325,16 +312,9 @@ IsolationMode SweepEngine::ResolveIsolation(IsolationMode mode) {
   if (mode != IsolationMode::kDefault) {
     return mode;
   }
-  if (const char* env = std::getenv("DIBS_ISOLATE"); env != nullptr) {
-    if (std::strcmp(env, "process") == 0) {
-      return IsolationMode::kProcess;
-    }
-    if (env[0] != '\0' && std::strcmp(env, "thread") != 0) {
-      DIBS_LOG(kWarning) << "unknown DIBS_ISOLATE value '" << env
-                         << "'; using thread mode";
-    }
-  }
-  return IsolationMode::kThread;
+  return env::OneOf("DIBS_ISOLATE", "thread", {"thread", "process"}) == "process"
+             ? IsolationMode::kProcess
+             : IsolationMode::kThread;
 }
 
 std::vector<RunRecord> SweepEngine::Run(const SweepSpec& spec, ResultSink* sink) {

@@ -1,9 +1,8 @@
 #include "src/guard/collapse_watchdog.h"
 
-#include <cstdlib>
-#include <cstring>
 #include <utility>
 
+#include "src/util/env.h"
 #include "src/util/logging.h"
 
 namespace dibs {
@@ -13,8 +12,7 @@ CollapseWatchdog::CollapseWatchdog(Simulator* sim, const GuardConfig& config,
     : sim_(sim), config_(config), delivered_(std::move(delivered)) {}
 
 bool CollapseWatchdog::ReadStrictCollapseEnv() {
-  const char* env = std::getenv("DIBS_STRICT_COLLAPSE");
-  return env != nullptr && std::strcmp(env, "1") == 0;
+  return env::Flag("DIBS_STRICT_COLLAPSE", false);
 }
 
 void CollapseWatchdog::Start(Time stop_time, bool strict) {

@@ -10,6 +10,7 @@
 
 #include "src/device/invariant_checker.h"
 #include "src/trace/flight_recorder.h"
+#include "src/util/env.h"
 #include "src/util/logging.h"
 #include "src/util/validation.h"
 
@@ -28,8 +29,7 @@ void MaybeInjectTestFailure(int sweep_run_index, Simulator* sim, Time crash_at) 
   if (sweep_run_index < 0) {
     return;
   }
-  if (const char* env = std::getenv("DIBS_TEST_CRASH_RUN");
-      env != nullptr && std::atoi(env) == sweep_run_index) {
+  if (env::Int("DIBS_TEST_CRASH_RUN", -1, -1) == sweep_run_index) {
     // The SIGSEGV fires mid-run (sim time), not at startup, so an armed
     // flight-recorder dump captures the events leading up to the fault —
     // the whole point of a crash dump.
@@ -45,8 +45,7 @@ void MaybeInjectTestFailure(int sweep_run_index, Simulator* sim, Time crash_at) 
       ::raise(SIGSEGV);
     });
   }
-  if (const char* env = std::getenv("DIBS_TEST_HANG_RUN");
-      env != nullptr && std::atoi(env) == sweep_run_index) {
+  if (env::Int("DIBS_TEST_HANG_RUN", -1, -1) == sweep_run_index) {
     while (true) {
       ::sleep(1);  // only a hard watchdog (SIGKILL) gets a run out of here
     }

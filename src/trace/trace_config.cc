@@ -1,22 +1,11 @@
 #include "src/trace/trace_config.h"
 
-#include <cstdlib>
+#include "src/util/env.h"
 
 namespace dibs {
 namespace {
 
-const char* Env(const char* name) {
-  const char* v = std::getenv(name);
-  return (v != nullptr && v[0] != '\0') ? v : nullptr;
-}
-
-bool EnvFlag(const char* name, bool fallback) {
-  const char* v = Env(name);
-  if (v == nullptr) {
-    return fallback;
-  }
-  return !(v[0] == '0' && v[1] == '\0');
-}
+const char* Env(const char* name) { return env::Raw(name); }
 
 template <typename Int>
 std::vector<Int> ParseIdList(const char* s) {
@@ -62,19 +51,15 @@ TraceConfig ApplyTraceEnv(const TraceConfig& base) {
   if (const char* v = Env("DIBS_TRACE_FLOWS")) {
     cfg.filter.flows = ParseIdList<FlowId>(v);
   }
-  if (const char* v = Env("DIBS_TRACE_CLASS")) {
-    cfg.filter.tclass = std::atoi(v);
-  }
-  if (const char* v = Env("DIBS_TRACE_SAMPLE")) {
-    cfg.filter.sample = std::atof(v);
-  }
-  if (const char* v = Env("DIBS_TRACE_RING")) {
-    const long n = std::atol(v);
-    if (n > 0) {
-      cfg.ring_capacity = static_cast<size_t>(n);
-    }
-  }
-  cfg.dump_at_end = EnvFlag("DIBS_TRACE_DUMP", cfg.dump_at_end);
+  // Checked parses: a mistyped filter knob aborts the run with EnvError
+  // instead of silently tracing class 0 / sampling 0% of packets.
+  cfg.filter.tclass =
+      static_cast<int>(env::Int("DIBS_TRACE_CLASS", cfg.filter.tclass, -1, 255));
+  cfg.filter.sample = env::Double("DIBS_TRACE_SAMPLE", cfg.filter.sample, 0.0, 1.0);
+  cfg.ring_capacity = static_cast<size_t>(
+      env::Int("DIBS_TRACE_RING", static_cast<int64_t>(cfg.ring_capacity), 1,
+               1 << 30));
+  cfg.dump_at_end = env::Flag("DIBS_TRACE_DUMP", cfg.dump_at_end);
   if (const char* v = Env("DIBS_TRACE_DUMP_PATH")) {
     cfg.dump_path = v;
   }

@@ -9,6 +9,9 @@
 
 #include <cmath>
 #include <limits>
+#include <string>
+
+#include "src/util/rng.h"
 
 namespace dibs {
 namespace {
@@ -159,6 +162,122 @@ TEST(RecordCodecTest, IgnoresUnknownKeys) {
   std::string error;
   ASSERT_TRUE(DecodeRunRecord(line, &decoded, &error)) << error;
   EXPECT_EQ(decoded.sweep, "fig11");
+}
+
+TEST(RecordCodecTest, RejectsTypeConfusedFields) {
+  RunRecord scratch;
+  std::string error;
+  // A string where a count belongs.
+  EXPECT_FALSE(DecodeRunRecord(
+      R"({"sweep":"s","run":0,"status":"ok","result":{"drops":"many"}})",
+      &scratch, &error));
+  EXPECT_NE(error.find("drops"), std::string::npos) << error;
+  // A negative token in a uint field must not wrap to UINT64_MAX.
+  EXPECT_FALSE(DecodeRunRecord(
+      R"({"sweep":"s","run":0,"status":"ok","result":{"drops":-1}})", &scratch,
+      &error));
+  // An object where a double array was promised.
+  EXPECT_FALSE(DecodeRunRecord(
+      R"({"sweep":"s","run":0,"status":"ok","result":{"hot_fractions":{}}})",
+      &scratch, &error));
+  // A number where the sweep name belongs.
+  EXPECT_FALSE(DecodeRunRecord(R"({"sweep":3,"run":0,"status":"ok"})", &scratch,
+                               &error));
+  // Axes must map strings to strings.
+  EXPECT_FALSE(DecodeRunRecord(
+      R"({"sweep":"s","run":0,"status":"ok","axes":{"scheme":1}})", &scratch,
+      &error));
+}
+
+TEST(RecordCodecTest, RejectsNonFiniteAndMalformedNumbers) {
+  RunRecord scratch;
+  std::string error;
+  // Grammatically valid but overflows to inf — JSON has no inf.
+  EXPECT_FALSE(DecodeRunRecord(
+      R"({"sweep":"s","run":0,"status":"ok","wall_ms":1e999})", &scratch,
+      &error));
+  EXPECT_NE(error.find("non-finite"), std::string::npos) << error;
+  // Tokens the old permissive scanner fed straight to strtod.
+  for (const char* bad : {"1.2.3", "--5", "1e", "+1", ".5", "01"}) {
+    const std::string line = std::string(R"({"sweep":"s","run":0,"wall_ms":)") +
+                             bad + "}";
+    EXPECT_FALSE(DecodeRunRecord(line, &scratch, &error)) << line;
+  }
+  // NaN/Infinity literals are not JSON at all.
+  EXPECT_FALSE(DecodeRunRecord(R"({"wall_ms":NaN})", &scratch, &error));
+  EXPECT_FALSE(DecodeRunRecord(R"({"wall_ms":Infinity})", &scratch, &error));
+}
+
+TEST(RecordCodecTest, EveryTruncationOfARealLineIsRejected) {
+  const std::string line = EncodeRunRecord(FullRecord());
+  RunRecord scratch;
+  for (size_t len = 0; len < line.size(); ++len) {
+    EXPECT_FALSE(DecodeRunRecord(line.substr(0, len), &scratch))
+        << "prefix of length " << len << " decoded";
+  }
+}
+
+// Deterministic fuzz: the decoder must classify arbitrary bytes and
+// single-byte corruptions of real lines without crashing or hanging (ASan/
+// UBSan in CI turn latent memory bugs here into failures).
+TEST(RecordCodecTest, SurvivesFuzzedBytes) {
+  Rng rng(0x5EEDu);
+  const std::string base = EncodeRunRecord(FullRecord());
+  RunRecord scratch;
+  const std::string charset =
+      "{}[]\",:.0123456789-+eEnultrfasNI\\ \n\t\x01\x7f";
+  for (int iter = 0; iter < 2000; ++iter) {
+    std::string line;
+    if (rng.Bernoulli(0.5)) {
+      // Mutate a valid line: flip, insert, or delete a few bytes.
+      line = base;
+      const int edits = static_cast<int>(rng.UniformInt(1, 8));
+      for (int e = 0; e < edits && !line.empty(); ++e) {
+        const size_t pos = static_cast<size_t>(
+            rng.UniformInt(0, static_cast<int64_t>(line.size()) - 1));
+        const char c = charset[static_cast<size_t>(
+            rng.UniformInt(0, static_cast<int64_t>(charset.size()) - 1))];
+        switch (rng.UniformInt(0, 2)) {
+          case 0:
+            line[pos] = c;
+            break;
+          case 1:
+            line.insert(pos, 1, c);
+            break;
+          default:
+            line.erase(pos, 1);
+        }
+      }
+    } else {
+      // Raw noise drawn from JSON-ish bytes.
+      const int len = static_cast<int>(rng.UniformInt(0, 200));
+      for (int i = 0; i < len; ++i) {
+        line += charset[static_cast<size_t>(
+            rng.UniformInt(0, static_cast<int64_t>(charset.size()) - 1))];
+      }
+    }
+    std::string error;
+    if (DecodeRunRecord(line, &scratch, &error)) {
+      // Accepted lines must re-encode cleanly — decode is total on its
+      // own output.
+      RunRecord again;
+      EXPECT_TRUE(DecodeRunRecord(EncodeRunRecord(scratch), &again, &error))
+          << error;
+    } else {
+      EXPECT_FALSE(error.empty()) << "rejected without a reason: " << line;
+    }
+  }
+}
+
+TEST(RecordCodecTest, DeepNestingDoesNotSmashTheStack) {
+  std::string bomb = "{\"future\":";
+  for (int i = 0; i < 100000; ++i) {
+    bomb += '[';
+  }
+  RunRecord scratch;
+  std::string error;
+  EXPECT_FALSE(DecodeRunRecord(bomb, &scratch, &error));
+  EXPECT_NE(error.find("nesting"), std::string::npos) << error;
 }
 
 }  // namespace
