@@ -6,7 +6,8 @@
 #include <sstream>
 
 #include "src/chaos/spec_codec.h"
-#include "src/exp/json.h"
+#include "src/util/atomic_file.h"
+#include "src/util/json.h"
 
 namespace dibs::chaos {
 
@@ -51,11 +52,13 @@ CorpusEntry DecodeCorpusEntry(const std::string& text) {
 std::string WriteCorpusEntry(const std::string& dir, const std::string& name,
                              const CorpusEntry& entry) {
   const std::string path = dir + "/" + name + ".json";
-  std::ofstream out(path, std::ios::trunc);
-  if (!out) {
-    throw std::runtime_error("cannot write corpus entry: " + path);
+  // Durable replace (temp + fsync + rename): a corpus entry is written at
+  // the exact moment something is crashing — a torn entry that poisons the
+  // next replay would defeat its purpose.
+  std::string error;
+  if (!WriteFileDurable(path, EncodeCorpusEntry(entry), &error)) {
+    throw std::runtime_error("cannot write corpus entry: " + error);
   }
-  out << EncodeCorpusEntry(entry);
   return path;
 }
 

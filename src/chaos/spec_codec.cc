@@ -3,7 +3,7 @@
 #include <cmath>
 #include <sstream>
 
-#include "src/exp/json.h"
+#include "src/util/json.h"
 
 namespace dibs::chaos {
 namespace {

@@ -1,5 +1,5 @@
 // JSON (de)serialization for ChaosSpec, on the shared strict layer in
-// src/exp/json.h. Encode and Decode round-trip exactly — the generator's
+// src/util/json.h. Encode and Decode round-trip exactly — the generator's
 // bit-reproducibility contract (`dibs_fuzz gen --seed S` emits byte-equal
 // streams on every machine) is stated over this encoding — and Decode is
 // as strict as the RunRecord codec: truncated input, non-finite numbers,
@@ -12,14 +12,14 @@
 #include <string>
 
 #include "src/chaos/chaos_spec.h"
-#include "src/exp/json.h"
+#include "src/util/json.h"
 
 namespace dibs::chaos {
 
 // One-line JSON, fixed field order, no trailing newline.
 std::string EncodeChaosSpec(const ChaosSpec& spec);
 
-// Throws CodecError (src/exp/json.h) on malformed or out-of-envelope input.
+// Throws CodecError (src/util/json.h) on malformed or out-of-envelope input.
 ChaosSpec DecodeChaosSpec(const std::string& text);
 
 // Decodes from an already-parsed JSON subtree (e.g. the "spec" field of a

@@ -1,0 +1,102 @@
+#include "src/ckpt/checkpoint.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace dibs::ckpt {
+namespace {
+
+std::string HexDigest(uint64_t d) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx", static_cast<unsigned long long>(d));
+  return buf;
+}
+
+}  // namespace
+
+uint64_t Fnv1aDigest(const std::string& bytes) {
+  uint64_t hash = 14695981039346656037ull;
+  for (unsigned char c : bytes) {
+    hash ^= c;
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+std::string EncodeCheckpointFile(const json::Value& state) {
+  const std::string line = json::Dump(state);
+  return line + "\n{\"digest\":\"" + HexDigest(Fnv1aDigest(line)) + "\"}\n";
+}
+
+json::Value DecodeCheckpointFile(const std::string& text) {
+  const size_t first_nl = text.find('\n');
+  if (first_nl == std::string::npos) {
+    throw CkptError("checkpoint truncated: no state line terminator");
+  }
+  const size_t second_nl = text.find('\n', first_nl + 1);
+  if (second_nl == std::string::npos) {
+    throw CkptError("checkpoint truncated: no digest line terminator");
+  }
+  if (second_nl + 1 != text.size()) {
+    throw CkptError("checkpoint has trailing bytes after the digest line");
+  }
+  const std::string state_line = text.substr(0, first_nl);
+  const std::string digest_line = text.substr(first_nl + 1, second_nl - first_nl - 1);
+
+  // Digest first: with a bit flip anywhere in the state line, any JSON-level
+  // diagnosis would be describing garbage.
+  json::Value digest_obj;
+  std::string error;
+  if (!json::Parse(digest_line, &digest_obj, &error)) {
+    throw CkptError("checkpoint digest line unreadable: " + error);
+  }
+  std::string want_digest;
+  try {
+    json::ReadString(digest_obj, "digest", &want_digest);
+  } catch (const CodecError& e) {
+    throw CkptError(std::string("checkpoint digest line malformed: ") + e.what());
+  }
+  if (want_digest.empty()) {
+    throw CkptError("checkpoint digest line missing its digest field");
+  }
+  const std::string got_digest = HexDigest(Fnv1aDigest(state_line));
+  if (got_digest != want_digest) {
+    throw CkptError("checkpoint integrity digest mismatch: file says " + want_digest +
+                    ", state hashes to " + got_digest);
+  }
+
+  json::Value state;
+  if (!json::Parse(state_line, &state, &error)) {
+    throw CkptError("checkpoint state line unreadable: " + error);
+  }
+  try {
+    std::string format;
+    json::ReadString(state, "format", &format);
+    if (format != kCkptFormat) {
+      throw CkptError("not a checkpoint file (format '" + format + "')");
+    }
+    int version = -1;
+    json::ReadInt(state, "version", &version);
+    if (version != kCkptVersion) {
+      throw CkptError("checkpoint format version " + std::to_string(version) +
+                      " unsupported (this build reads version " +
+                      std::to_string(kCkptVersion) + ")");
+    }
+  } catch (const CodecError& e) {
+    throw CkptError(std::string("checkpoint header malformed: ") + e.what());
+  }
+  return state;
+}
+
+json::Value ReadCheckpointFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) {
+    throw CkptError("cannot open checkpoint '" + path + "'");
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return DecodeCheckpointFile(buf.str());
+}
+
+}  // namespace dibs::ckpt

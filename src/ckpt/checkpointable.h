@@ -1,0 +1,57 @@
+// Component interface for in-run checkpoint/restore.
+//
+// Simulator events are std::function closures and cannot be serialized, so
+// the checkpoint subsystem never tries: instead every stateful simulation
+// component implements Checkpointable and serializes its *domain* state —
+// RNG engines via stream operators, queues with their resident packets, TCP
+// per-flow congestion/RTO/retransmit descriptors, FIB and link admin state,
+// guard EWMAs and breaker states, the pending fault-plan cursor, and
+// stats/recorder accumulators. Timers and other pending events are saved as
+// (when, id, descriptor) triples; CkptRestore re-materializes them by
+// re-arming an equivalent closure through Simulator::RestoreEventAt under
+// the ORIGINAL event id, which preserves FIFO tie-breaking and therefore
+// the exact event order of the uninterrupted run.
+//
+// CkptPendingEvents is the safety net behind that contract: it reports the
+// (when, id) keys the component would re-arm, and the CheckpointManager
+// refuses to write a snapshot unless the union over all components matches
+// the simulator's live queue exactly. A component that schedules an event
+// the checkpoint layer cannot re-materialize makes checkpointing degrade to
+// "no snapshot written" — never to a snapshot that restores wrongly.
+
+#ifndef SRC_CKPT_CHECKPOINTABLE_H_
+#define SRC_CKPT_CHECKPOINTABLE_H_
+
+#include <utility>
+#include <vector>
+
+#include "src/sim/simulator.h"
+#include "src/util/json.h"
+
+namespace dibs::ckpt {
+
+// (when, id) key of one live pending event.
+using EventKey = std::pair<Time, EventId>;
+
+class Checkpointable {
+ public:
+  virtual ~Checkpointable() = default;
+
+  // Serializes domain state into `*out` (set to an object Value). Must not
+  // mutate simulation state.
+  virtual void CkptSave(json::Value* out) const = 0;
+
+  // Restores state from a value produced by CkptSave and re-arms this
+  // component's pending events via Simulator::RestoreEventAt. Throws
+  // CodecError (or ckpt::CkptError) on malformed or inconsistent input; the
+  // caller treats any throw as "checkpoint unusable, replay from scratch".
+  virtual void CkptRestore(const json::Value& in) = 0;
+
+  // Appends the (when, id) key of every pending event this component owns
+  // (and would re-arm on restore) to `*out`.
+  virtual void CkptPendingEvents(std::vector<EventKey>* out) const = 0;
+};
+
+}  // namespace dibs::ckpt
+
+#endif  // SRC_CKPT_CHECKPOINTABLE_H_

@@ -1,0 +1,194 @@
+#include "src/ckpt/manager.h"
+
+#include <signal.h>
+
+#include <algorithm>
+#include <sstream>
+
+#include "src/util/atomic_file.h"
+#include "src/util/logging.h"
+
+namespace dibs::ckpt {
+namespace {
+
+std::string DescribeKey(const EventKey& k) {
+  std::ostringstream os;
+  os << "(t=" << k.first.nanos() << "ns, id=" << k.second << ")";
+  return os.str();
+}
+
+// First key present in `a` but not `b` (both sorted), for diagnostics.
+std::string FirstMissing(const std::vector<EventKey>& a, const std::vector<EventKey>& b) {
+  std::vector<EventKey> diff;
+  std::set_difference(a.begin(), a.end(), b.begin(), b.end(), std::back_inserter(diff));
+  return diff.empty() ? "<none>" : DescribeKey(diff.front());
+}
+
+}  // namespace
+
+void CheckpointManager::Register(std::string id, Checkpointable* component) {
+  DIBS_CHECK(component != nullptr) << "null checkpointable '" << id << "'";
+  for (const auto& [existing, c] : components_) {
+    DIBS_CHECK(existing != id) << "duplicate checkpointable id '" << id << "'";
+  }
+  components_.emplace_back(std::move(id), component);
+}
+
+void CheckpointManager::Arm(CkptOptions options) {
+  DIBS_CHECK(options.interval > Time::Zero()) << "checkpoint interval must be > 0";
+  DIBS_CHECK(!options.path.empty()) << "checkpoint path must be set";
+  options_ = std::move(options);
+  armed_ = true;
+  sim_->SetCheckpointBarrier(options_.interval, [this] { OnBarrier(); });
+}
+
+bool CheckpointManager::CoverageMatches(std::string* detail) const {
+  std::vector<EventKey> live = sim_->PendingEventKeys();
+  std::vector<EventKey> reported;
+  for (const auto& [id, c] : components_) {
+    c->CkptPendingEvents(&reported);
+  }
+  std::sort(live.begin(), live.end());
+  std::sort(reported.begin(), reported.end());
+  if (live == reported) {
+    return true;
+  }
+  if (detail != nullptr) {
+    std::ostringstream os;
+    os << "pending-event coverage mismatch: simulator has " << live.size()
+       << " live events, components report " << reported.size()
+       << "; first unreported " << FirstMissing(live, reported)
+       << ", first over-reported " << FirstMissing(reported, live);
+    *detail = os.str();
+  }
+  return false;
+}
+
+std::string CheckpointManager::EncodeSnapshot() const {
+  std::string detail;
+  if (!CoverageMatches(&detail)) {
+    throw CkptError(detail);
+  }
+
+  json::Value state = json::MakeObject();
+  state.fields["format"] = json::MakeString(kCkptFormat);
+  state.fields["version"] = json::MakeInt(kCkptVersion);
+  state.fields["config_digest"] = json::MakeUint(options_.config_digest);
+  state.fields["barrier"] = json::MakeInt(barriers_written_ + 1);
+
+  json::Value sim = json::MakeObject();
+  sim.fields["now"] = json::MakeInt(sim_->Now().nanos());
+  sim.fields["next_id"] = json::MakeUint(sim_->next_event_id());
+  sim.fields["events"] = json::MakeUint(sim_->events_processed());
+  // mt19937_64 stream operators round-trip the engine state exactly
+  // (the standard specifies the textual representation).
+  std::ostringstream rng;
+  rng << sim_->rng().engine();
+  sim.fields["rng"] = json::MakeString(rng.str());
+  state.fields["sim"] = std::move(sim);
+
+  json::Value components = json::MakeObject();
+  for (const auto& [id, c] : components_) {
+    json::Value v;
+    c->CkptSave(&v);
+    components.fields[id] = std::move(v);
+  }
+  state.fields["components"] = std::move(components);
+
+  return EncodeCheckpointFile(state);
+}
+
+bool CheckpointManager::WriteSnapshot() {
+  std::string body;
+  try {
+    body = EncodeSnapshot();
+  } catch (const CkptError& e) {
+    if (!warned_) {
+      warned_ = true;
+      DIBS_LOG(kWarning) << "checkpoint skipped: " << e.what();
+    }
+    return false;
+  }
+  std::string error;
+  if (!WriteFileDurable(options_.path, body, &error)) {
+    if (!warned_) {
+      warned_ = true;
+      DIBS_LOG(kWarning) << "checkpoint write failed: " << error;
+    }
+    return false;
+  }
+  ++barriers_written_;
+  return true;
+}
+
+void CheckpointManager::OnBarrier() {
+  if (!WriteSnapshot()) {
+    return;
+  }
+  if (options_.kill_at_barrier > 0 && barriers_written_ == options_.kill_at_barrier) {
+    // Test hook: die the hard way, with the snapshot already durable. Raised
+    // from the barrier hook — between events, never as an event — so arming
+    // the kill cannot shift a single event id.
+    ::raise(SIGKILL);
+  }
+}
+
+void CheckpointManager::RestoreFromFile(const std::string& path, uint64_t config_digest) {
+  const json::Value state = ReadCheckpointFile(path);
+  try {
+    const uint64_t saved_digest = json::ReadUint64(state, "config_digest", 0);
+    if (saved_digest != config_digest) {
+      std::ostringstream os;
+      os << "checkpoint belongs to a different config (digest " << saved_digest
+         << ", this run " << config_digest << ")";
+      throw CkptError(os.str());
+    }
+
+    const json::Value* sim = json::Find(state, "sim");
+    if (sim == nullptr) {
+      throw CkptError("checkpoint missing its sim section");
+    }
+    const Time now = Time::Nanos(json::ReadInt64(*sim, "now", -1));
+    const uint64_t next_id = json::ReadUint64(*sim, "next_id", 0);
+    const uint64_t events = json::ReadUint64(*sim, "events", 0);
+    std::string rng_text;
+    json::ReadString(*sim, "rng", &rng_text);
+    if (now < Time::Zero() || next_id == 0 || rng_text.empty()) {
+      throw CkptError("checkpoint sim section incomplete");
+    }
+
+    const json::Value* components = json::Find(state, "components");
+    if (components == nullptr) {
+      throw CkptError("checkpoint missing its components section");
+    }
+    for (const auto& [id, c] : components_) {
+      if (json::Find(*components, id) == nullptr) {
+        throw CkptError("checkpoint missing component '" + id +
+                        "' — saved by a differently wired scenario?");
+      }
+    }
+
+    sim_->BeginRestore(now, next_id, events);
+    std::istringstream rng_in(rng_text);
+    rng_in >> sim_->rng().engine();
+    if (rng_in.fail()) {
+      throw CkptError("checkpoint rng state unreadable");
+    }
+    for (const auto& [id, c] : components_) {
+      try {
+        c->CkptRestore(*json::Find(*components, id));
+      } catch (const CodecError& e) {
+        throw CkptError("component '" + id + "' rejected checkpoint: " + e.what());
+      }
+    }
+
+    std::string detail;
+    if (!CoverageMatches(&detail)) {
+      throw CkptError("restore " + detail);
+    }
+  } catch (const CodecError& e) {
+    throw CkptError(std::string("checkpoint state malformed: ") + e.what());
+  }
+}
+
+}  // namespace dibs::ckpt

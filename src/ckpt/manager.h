@@ -1,0 +1,91 @@
+// CheckpointManager: orchestrates quiescent-barrier snapshots and restore.
+//
+// The owner (Scenario) registers every Checkpointable component in a fixed
+// order, then either Arm()s periodic snapshots — the simulator fires a
+// barrier between events every `interval` of sim time, and the manager
+// atomically replaces the checkpoint file — or RestoreFromFile()s a
+// previous snapshot into freshly constructed components.
+//
+// Correct-by-refusal: before writing, the manager unions every component's
+// reported pending-event keys and compares the multiset against the
+// simulator's live queue. Any mismatch (a subsystem scheduled an event the
+// checkpoint layer cannot re-materialize) makes the snapshot be skipped
+// with a one-time warning rather than written wrong. Restore re-runs the
+// same cross-check after components re-arm their events and throws
+// CkptError on disagreement, so a restore either reproduces the exact
+// pending-event set or is rejected in favor of from-scratch replay.
+
+#ifndef SRC_CKPT_MANAGER_H_
+#define SRC_CKPT_MANAGER_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/ckpt/checkpoint.h"
+#include "src/ckpt/checkpointable.h"
+#include "src/sim/simulator.h"
+
+namespace dibs::ckpt {
+
+struct CkptOptions {
+  std::string path;          // checkpoint file, atomically replaced per barrier
+  Time interval;             // sim-time distance between barriers (> 0)
+  uint64_t config_digest = 0;  // caller-opaque config identity, checked on restore
+
+  // Test hook: after durably writing the Nth barrier snapshot (1-based) of
+  // this process's run, die by SIGKILL. Fired from the barrier hook —
+  // never a simulator event — so arming it cannot perturb event ids.
+  int kill_at_barrier = -1;
+};
+
+class CheckpointManager {
+ public:
+  explicit CheckpointManager(Simulator* sim) : sim_(sim) {}
+
+  CheckpointManager(const CheckpointManager&) = delete;
+  CheckpointManager& operator=(const CheckpointManager&) = delete;
+
+  // Registration order is the save/restore order and must be identical
+  // between the saving and restoring process (both derive it from the same
+  // Scenario wiring). Ids must be unique.
+  void Register(std::string id, Checkpointable* component);
+
+  // Installs the simulator barrier; each firing writes one snapshot.
+  void Arm(CkptOptions options);
+
+  // Serializes the full simulation state (clock, id epoch, RNG, every
+  // component). Throws CkptError on a pending-event coverage mismatch.
+  std::string EncodeSnapshot() const;
+
+  // EncodeSnapshot + durable atomic file replace. Returns false (warning
+  // logged once per run) when the snapshot is refused or the write fails.
+  bool WriteSnapshot();
+
+  // Restores simulator + components from `path`. Throws CkptError when the
+  // file is damaged, from a different config, or inconsistent with the
+  // registered components. On throw the simulation must be discarded — the
+  // caller rebuilds it and replays from scratch.
+  void RestoreFromFile(const std::string& path, uint64_t config_digest);
+
+  int barriers_written() const { return barriers_written_; }
+
+ private:
+  void OnBarrier();
+
+  // Sorted live-queue keys vs sorted component-reported keys; fills `detail`
+  // and returns false on mismatch.
+  bool CoverageMatches(std::string* detail) const;
+
+  Simulator* sim_;
+  std::vector<std::pair<std::string, Checkpointable*>> components_;
+  CkptOptions options_;
+  bool armed_ = false;
+  bool warned_ = false;
+  int barriers_written_ = 0;
+};
+
+}  // namespace dibs::ckpt
+
+#endif  // SRC_CKPT_MANAGER_H_

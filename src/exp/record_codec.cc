@@ -4,7 +4,7 @@
 #include <utility>
 #include <vector>
 
-#include "src/exp/json.h"
+#include "src/util/json.h"
 
 namespace dibs {
 namespace {

@@ -27,7 +27,7 @@ std::string EncodeRunRecord(const RunRecord& record);
 // `error` when non-null) on malformed input: truncated or trailing-garbage
 // JSON, non-finite number tokens ("1e999"), and type-confused fields (a
 // string where a count belongs, a negative token in a uint field) are all
-// rejected — see src/exp/json.h. Unknown keys are ignored so older readers
+// rejected — see src/util/json.h. Unknown keys are ignored so older readers
 // tolerate newer writers. JSON null decodes to NaN, matching the encoder's
 // NaN/inf -> null mapping.
 bool DecodeRunRecord(const std::string& line, RunRecord* record,

@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <stdexcept>
 
 #include "src/exp/record_codec.h"
@@ -179,7 +180,7 @@ uint64_t SweepFingerprint(const std::string& sweep_name,
 
 void RunJournal::Open(const std::string& path, const std::string& sweep_name,
                       size_t run_count, uint64_t fingerprint, bool resume,
-                      std::map<int, RunRecord>* resumed) {
+                      std::map<int, RunRecord>* resumed, const std::string& ckpt_dir) {
   std::lock_guard<std::mutex> lock(mu_);
   DIBS_CHECK(!out_.is_open()) << "journal already open";
 
@@ -233,13 +234,19 @@ void RunJournal::Open(const std::string& path, const std::string& sweep_name,
     }
   }
 
-  out_.open(path, have_existing ? std::ios::app : std::ios::trunc);
-  DIBS_CHECK(out_.is_open()) << "cannot open journal '" << path << "'";
+  std::string io_error;
+  DIBS_CHECK(out_.Open(path, /*truncate=*/!have_existing, &io_error))
+      << "cannot open journal '" << path << "': " << io_error;
   if (!have_existing) {
-    out_ << "{\"journal\":\"dibs-sweep\",\"version\":1,\"sweep\":\"" << sweep_name
-         << "\",\"runs\":" << run_count << ",\"fingerprint\":\""
-         << HexFingerprint(fingerprint) << "\"}\n"
-         << std::flush;
+    std::string header = "{\"journal\":\"dibs-sweep\",\"version\":1,\"sweep\":\"" +
+                         sweep_name + "\",\"runs\":" + std::to_string(run_count) +
+                         ",\"fingerprint\":\"" + HexFingerprint(fingerprint) + "\"";
+    if (!ckpt_dir.empty()) {
+      header += ",\"ckpt\":\"" + ckpt_dir + "\"";
+    }
+    header += "}\n";
+    DIBS_CHECK(out_.Append(header, &io_error))
+        << "cannot write journal header to '" << path << "': " << io_error;
   }
 }
 
@@ -248,14 +255,17 @@ void RunJournal::Append(const RunRecord& record) {
   if (!out_.is_open()) {
     return;
   }
-  out_ << EncodeRunRecord(record) << "\n" << std::flush;
+  std::string io_error;
+  if (!out_.Append(EncodeRunRecord(record) + "\n", &io_error)) {
+    // A journaling failure must not kill the sweep producing the results —
+    // but it must be loud: resume would silently redo (or lose) this run.
+    DIBS_LOG(kWarning) << "journal append failed: " << io_error;
+  }
 }
 
 void RunJournal::Close() {
   std::lock_guard<std::mutex> lock(mu_);
-  if (out_.is_open()) {
-    out_.close();
-  }
+  out_.Close();
 }
 
 }  // namespace dibs

@@ -23,13 +23,13 @@
 #define SRC_EXP_RUN_JOURNAL_H_
 
 #include <cstdint>
-#include <fstream>
 #include <map>
 #include <mutex>
 #include <string>
 #include <vector>
 
 #include "src/exp/run_record.h"
+#include "src/util/atomic_file.h"
 
 namespace dibs {
 
@@ -57,9 +57,12 @@ class RunJournal {
   // std::runtime_error) and fills `resumed` with the last record per run
   // index, then appends. Without `resume` (or when the file is missing or
   // empty) the file is truncated and a fresh header is written.
+  // `ckpt_dir`, when non-empty, is recorded in the header as an
+  // informational pointer to this sweep's in-run checkpoint directory (the
+  // resuming process resolves the actual directory from its own options).
   void Open(const std::string& path, const std::string& sweep_name,
             size_t run_count, uint64_t fingerprint, bool resume,
-            std::map<int, RunRecord>* resumed);
+            std::map<int, RunRecord>* resumed, const std::string& ckpt_dir = "");
 
   bool is_open() const { return out_.is_open(); }
 
@@ -70,7 +73,9 @@ class RunJournal {
 
  private:
   std::mutex mu_;
-  std::ofstream out_;
+  // fsync-per-record append (src/util/atomic_file.h): a record the engine
+  // considers journaled must survive the very crash the journal exists for.
+  DurableAppendFile out_;
 };
 
 }  // namespace dibs

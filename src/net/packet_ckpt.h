@@ -1,0 +1,76 @@
+// Packet <-> JSON codec for the checkpoint subsystem (src/ckpt).
+//
+// A packet serializes as a fixed-order compact array (no field names — a
+// checkpoint holds thousands of resident packets, and the digest covers the
+// bytes anyway). Every field is round-tripped exactly: counters as raw
+// integer tokens, times as nanosecond integers. Unpack goes through the
+// checked element readers, so a corrupted entry throws CodecError instead of
+// decoding as a plausible-looking packet.
+
+#ifndef SRC_NET_PACKET_CKPT_H_
+#define SRC_NET_PACKET_CKPT_H_
+
+#include <cstdint>
+
+#include "src/net/packet.h"
+#include "src/util/json.h"
+
+namespace dibs {
+
+// Field order; Unpack checks the array length against kPacketCkptFields.
+inline constexpr size_t kPacketCkptFields = 18;
+
+inline json::Value PackPacket(const Packet& p) {
+  json::Value a = json::MakeArray();
+  a.items.reserve(kPacketCkptFields);
+  a.items.push_back(json::MakeUint(p.uid));
+  a.items.push_back(json::MakeInt(p.src));
+  a.items.push_back(json::MakeInt(p.dst));
+  a.items.push_back(json::MakeUint(p.size_bytes));
+  a.items.push_back(json::MakeUint(p.ttl));
+  a.items.push_back(json::MakeBool(p.ect));
+  a.items.push_back(json::MakeBool(p.ce));
+  a.items.push_back(json::MakeUint(p.flow));
+  a.items.push_back(json::MakeUint(static_cast<uint64_t>(p.traffic_class)));
+  a.items.push_back(json::MakeBool(p.is_ack));
+  a.items.push_back(json::MakeUint(p.seq));
+  a.items.push_back(json::MakeUint(p.ack_seq));
+  a.items.push_back(json::MakeBool(p.ece));
+  a.items.push_back(json::MakeBool(p.fin));
+  a.items.push_back(json::MakeInt(p.priority));
+  a.items.push_back(json::MakeUint(p.detour_count));
+  a.items.push_back(json::MakeInt(p.sent_time.nanos()));
+  a.items.push_back(json::MakeInt(p.enqueued_at.nanos()));
+  return a;
+}
+
+inline Packet UnpackPacket(const json::Value& v) {
+  if (v.kind != json::Value::Kind::kArray || v.items.size() != kPacketCkptFields) {
+    throw CodecError("packet", "expected a " + std::to_string(kPacketCkptFields) +
+                                   "-element array");
+  }
+  Packet p;
+  p.uid = json::ElemUint(v, 0, "packet");
+  p.src = static_cast<HostId>(json::ElemInt(v, 1, "packet"));
+  p.dst = static_cast<HostId>(json::ElemInt(v, 2, "packet"));
+  p.size_bytes = static_cast<uint32_t>(json::ElemUint(v, 3, "packet"));
+  p.ttl = static_cast<uint8_t>(json::ElemUint(v, 4, "packet"));
+  p.ect = json::ElemBool(v, 5, "packet");
+  p.ce = json::ElemBool(v, 6, "packet");
+  p.flow = json::ElemUint(v, 7, "packet");
+  p.traffic_class = static_cast<TrafficClass>(json::ElemUint(v, 8, "packet"));
+  p.is_ack = json::ElemBool(v, 9, "packet");
+  p.seq = static_cast<uint32_t>(json::ElemUint(v, 10, "packet"));
+  p.ack_seq = static_cast<uint32_t>(json::ElemUint(v, 11, "packet"));
+  p.ece = json::ElemBool(v, 12, "packet");
+  p.fin = json::ElemBool(v, 13, "packet");
+  p.priority = json::ElemInt(v, 14, "packet");
+  p.detour_count = static_cast<uint16_t>(json::ElemUint(v, 15, "packet"));
+  p.sent_time = Time::Nanos(json::ElemInt(v, 16, "packet"));
+  p.enqueued_at = Time::Nanos(json::ElemInt(v, 17, "packet"));
+  return p;
+}
+
+}  // namespace dibs
+
+#endif  // SRC_NET_PACKET_CKPT_H_

@@ -25,7 +25,7 @@ EventId Simulator::ScheduleAt(Time when, std::function<void()> fn) {
   }
   DIBS_CHECK(when >= now_) << "scheduling into the past: " << when << " < " << now_;
   const EventId id = next_id_++;
-  queue_.push(Event{when, id, std::move(fn)});
+  PushEvent(Event{when, id, std::move(fn)});
   return id;
 }
 
@@ -38,10 +38,9 @@ void Simulator::Cancel(EventId id) {
 
 bool Simulator::RunOneEvent() {
   while (!queue_.empty()) {
-    // priority_queue::top() is const; the closure must be moved out before
-    // running because the event may schedule more events (mutating the heap).
-    Event ev = std::move(const_cast<Event&>(queue_.top()));
-    queue_.pop();
+    // The event must be popped before running because the closure may
+    // schedule more events (mutating the heap).
+    Event ev = PopEvent();
     if (auto it = cancelled_.find(ev.id); it != cancelled_.end()) {
       cancelled_.erase(it);
       continue;
@@ -94,13 +93,19 @@ void Simulator::RunUntil(Time until) {
       break;
     }
     // Peek through cancelled entries without running live ones early.
-    if (cancelled_.count(queue_.top().id) > 0) {
-      cancelled_.erase(queue_.top().id);
-      queue_.pop();
+    if (cancelled_.count(TopEvent().id) > 0) {
+      cancelled_.erase(TopEvent().id);
+      PopEvent();
       continue;
     }
-    if (queue_.top().when > until) {
+    if (TopEvent().when > until) {
       break;
+    }
+    if (barrier_interval_ > Time::Zero()) {
+      MaybeFireBarriers(TopEvent().when, until);
+      if (stopped_ || queue_.empty()) {
+        continue;  // re-evaluate loop conditions; hooks never add events
+      }
     }
     RunOneEvent();
   }
@@ -109,6 +114,61 @@ void Simulator::RunUntil(Time until) {
   if (!stopped_ && !interrupted_ && now_ < until) {
     now_ = until;
   }
+}
+
+void Simulator::SetCheckpointBarrier(Time interval, std::function<void()> hook) {
+  barrier_interval_ = interval;
+  barrier_hook_ = std::move(hook);
+  if (interval <= Time::Zero()) {
+    barrier_interval_ = Time();
+    barrier_hook_ = nullptr;
+    return;
+  }
+  // First barrier strictly after the current clock, on the interval grid.
+  // After a restore Now() sits exactly on a barrier, so "strictly after"
+  // also keeps a resumed run from re-writing the checkpoint it came from.
+  const int64_t periods = now_.nanos() / interval.nanos();
+  next_barrier_ = Time::Nanos((periods + 1) * interval.nanos());
+}
+
+void Simulator::MaybeFireBarriers(Time next_when, Time until) {
+  while (barrier_hook_ && next_barrier_ <= next_when && next_barrier_ <= until) {
+    if (next_barrier_ > now_) {
+      // Invisible clock hop, same as RunUntil's trailing `now_ = until`: no
+      // event runs between here and the next pop, so nothing observes it.
+      now_ = next_barrier_;
+    }
+    barrier_hook_();
+    next_barrier_ = next_barrier_ + barrier_interval_;
+  }
+}
+
+std::vector<std::pair<Time, EventId>> Simulator::PendingEventKeys() const {
+  std::vector<std::pair<Time, EventId>> keys;
+  keys.reserve(queue_.size());
+  for (const Event& ev : queue_) {
+    if (cancelled_.count(ev.id) == 0) {
+      keys.emplace_back(ev.when, ev.id);
+    }
+  }
+  return keys;
+}
+
+void Simulator::BeginRestore(Time now, EventId next_id, uint64_t events_processed) {
+  queue_.clear();
+  cancelled_.clear();
+  now_ = now;
+  next_id_ = next_id;
+  events_processed_ = events_processed;
+  stopped_ = false;
+  interrupted_ = false;
+}
+
+void Simulator::RestoreEventAt(Time when, EventId id, std::function<void()> fn) {
+  DIBS_CHECK(id != kInvalidEventId && id < next_id_)
+      << "restored event id " << id << " outside checkpoint epoch (next id " << next_id_ << ")";
+  DIBS_CHECK(when >= now_) << "restored event in the past: " << when << " < " << now_;
+  PushEvent(Event{when, id, std::move(fn)});
 }
 
 }  // namespace dibs

@@ -9,10 +9,11 @@
 #ifndef SRC_SIM_SIMULATOR_H_
 #define SRC_SIM_SIMULATOR_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "src/sim/time.h"
@@ -83,6 +84,40 @@ class Simulator {
   uint64_t events_processed() const { return events_processed_; }
   size_t pending_events() const { return queue_.size() - cancelled_.size(); }
 
+  // --- Checkpoint/restore support (src/ckpt) ---
+  //
+  // Events are closures and cannot be serialized; the checkpoint subsystem
+  // instead re-materializes them from component-owned descriptors. These
+  // hooks give it the three things that requires: a quiescent point between
+  // events to snapshot at, the exact (when, id) keys of every live pending
+  // event (so component coverage can be cross-checked), and a way to
+  // re-insert an event under its original id so FIFO tie-breaking — and with
+  // it the entire event order — survives a restore byte-for-byte.
+
+  // Installs a barrier fired from RunUntil between events: whenever the next
+  // live event's timestamp reaches or crosses a multiple of `interval`, the
+  // clock is advanced to the barrier time (mirroring RunUntil's end-of-run
+  // behavior; no event observes the intermediate clock) and `hook` runs.
+  // The hook must not schedule events or draw randomness. Pass a zero
+  // interval to disarm.
+  void SetCheckpointBarrier(Time interval, std::function<void()> hook);
+
+  // (when, id) of every live (non-cancelled) pending event, unordered.
+  std::vector<std::pair<Time, EventId>> PendingEventKeys() const;
+
+  // Resets the clock, id counter, and event count to checkpointed values and
+  // clears the queue; RestoreEventAt calls then repopulate it.
+  void BeginRestore(Time now, EventId next_id, uint64_t events_processed);
+
+  // Re-inserts an event captured in a checkpoint under its original id.
+  // `id` must come from the epoch being restored (below next_id) and `when`
+  // must not be in the past.
+  void RestoreEventAt(Time when, EventId id, std::function<void()> fn);
+
+  // The id the next Schedule/ScheduleAt call would be issued (the event-id
+  // epoch a checkpoint must restore).
+  EventId next_event_id() const { return next_id_; }
+
  private:
   struct Event {
     Time when;
@@ -105,6 +140,25 @@ class Simulator {
   // Applies the event budget / interrupt check; true when the run must stop.
   bool CheckInterrupt();
 
+  // Fires any checkpoint barriers due strictly before the next live event at
+  // `next_when` (and no later than `until`).
+  void MaybeFireBarriers(Time next_when, Time until);
+
+  // Explicit binary-heap management (std::push_heap/pop_heap over a plain
+  // vector instead of std::priority_queue) so PendingEventKeys can iterate
+  // the live queue — the checkpoint coverage check needs to see every key.
+  void PushEvent(Event&& ev) {
+    queue_.push_back(std::move(ev));
+    std::push_heap(queue_.begin(), queue_.end(), EventLater());
+  }
+  Event PopEvent() {
+    std::pop_heap(queue_.begin(), queue_.end(), EventLater());
+    Event ev = std::move(queue_.back());
+    queue_.pop_back();
+    return ev;
+  }
+  const Event& TopEvent() const { return queue_.front(); }
+
   Time now_;
   EventId next_id_ = 1;
   uint64_t events_processed_ = 0;
@@ -113,8 +167,11 @@ class Simulator {
   uint64_t event_budget_ = 0;
   uint64_t check_every_ = 4096;
   std::function<bool()> interrupt_check_;
-  std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
+  std::vector<Event> queue_;  // binary max-heap under EventLater
   std::unordered_set<EventId> cancelled_;
+  Time barrier_interval_;               // zero = no checkpoint barrier
+  Time next_barrier_;                   // first unfired barrier time
+  std::function<void()> barrier_hook_;
   Rng rng_;
 };
 

@@ -66,6 +66,11 @@ void CrashDumpHandler(int sig) {
     const int fd = ::open(g_dump_path, O_WRONLY | O_CREAT | O_TRUNC, 0644);
     if (fd >= 0) {
       recorder->DumpToFd(fd);
+      // Same durability bar as every other artifact the harness writes
+      // (src/util/atomic_file): the dump must survive not just this dying
+      // process but a machine going down with it. fsync is async-signal-
+      // safe (POSIX), like the open/write/close around it.
+      ::fsync(fd);
       ::close(fd);
     }
   }

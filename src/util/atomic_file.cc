@@ -1,0 +1,127 @@
+#include "src/util/atomic_file.h"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <string.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+
+namespace dibs {
+namespace {
+
+void SetError(std::string* error, const std::string& what) {
+  if (error != nullptr) {
+    *error = what + ": " + std::strerror(errno);
+  }
+}
+
+// Writes all of `data` to `fd`, retrying short writes and EINTR.
+bool WriteAll(int fd, const std::string& data) {
+  size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + off, data.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return false;
+    }
+    off += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+// fsync on the containing directory so a rename (or create) of an entry in
+// it is itself durable. Best-effort: some filesystems refuse directory
+// fsync; the data fsync already happened, so failure here is not fatal.
+void SyncParentDir(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  const int dfd = ::open(dir.empty() ? "/" : dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (dfd >= 0) {
+    ::fsync(dfd);
+    ::close(dfd);
+  }
+}
+
+}  // namespace
+
+bool WriteFileDurable(const std::string& path, const std::string& contents,
+                      std::string* error) {
+  // Same-directory temp name, keyed by pid so concurrent writers (forked
+  // sweep children) never collide on it.
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid());
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    SetError(error, "open " + tmp);
+    return false;
+  }
+  if (!WriteAll(fd, contents)) {
+    SetError(error, "write " + tmp);
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  if (::fsync(fd) != 0) {
+    SetError(error, "fsync " + tmp);
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  if (::close(fd) != 0) {
+    SetError(error, "close " + tmp);
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    SetError(error, "rename " + tmp + " -> " + path);
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  SyncParentDir(path);
+  return true;
+}
+
+bool DurableAppendFile::Open(const std::string& path, bool truncate, std::string* error) {
+  Close();
+  const int flags = O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC | (truncate ? O_TRUNC : 0);
+  fd_ = ::open(path.c_str(), flags, 0644);
+  if (fd_ < 0) {
+    SetError(error, "open " + path);
+    return false;
+  }
+  // Make the file's existence durable up front: a journal that vanishes with
+  // the crash it was supposed to survive is worse than none.
+  ::fsync(fd_);
+  SyncParentDir(path);
+  return true;
+}
+
+bool DurableAppendFile::Append(const std::string& data, std::string* error) {
+  if (fd_ < 0) {
+    if (error != nullptr) {
+      *error = "append to unopened file";
+    }
+    return false;
+  }
+  if (!WriteAll(fd_, data)) {
+    SetError(error, "append");
+    return false;
+  }
+  if (::fsync(fd_) != 0) {
+    SetError(error, "fsync");
+    return false;
+  }
+  return true;
+}
+
+void DurableAppendFile::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+}  // namespace dibs

@@ -1,0 +1,50 @@
+// dibs-analyzer fixture: every marked line must fire [checkpoint-coverage].
+// Minimal mirrors of the dibs:: simulator and checkpoint base — the rule
+// keys on qualified names, so these stand in for the real ones.
+
+namespace dibs {
+
+class Simulator {
+ public:
+  void Schedule(double delay) { last_ = delay; }
+  void ScheduleAt(double when) { last_ = when; }
+  void RestoreEventAt(double when, unsigned long id) { last_ = when + id; }
+
+ private:
+  double last_ = 0;
+};
+
+namespace ckpt {
+class Checkpointable {
+ public:
+  virtual ~Checkpointable() = default;
+};
+}  // namespace ckpt
+
+}  // namespace dibs
+
+namespace fixture {
+
+// Owns a timer but is invisible to the checkpoint layer: a snapshot taken
+// while its event is live fails the coverage check and is refused.
+class RogueTimer {
+ public:
+  explicit RogueTimer(dibs::Simulator& sim) : sim_(sim) {}
+  void Start() {
+    sim_.Schedule(1.0);  // expect(checkpoint-coverage)
+  }
+  void Rearm() {
+    sim_.RestoreEventAt(2.0, 7);  // expect(checkpoint-coverage)
+  }
+
+ private:
+  dibs::Simulator& sim_;
+};
+
+// Free functions can never be checkpoint-covered: nothing reports the event
+// in CkptPendingEvents, nothing re-arms it on restore.
+void FireAndForget(dibs::Simulator& sim) {
+  sim.ScheduleAt(3.0);  // expect(checkpoint-coverage)
+}
+
+}  // namespace fixture

@@ -20,7 +20,7 @@
 #include "src/chaos/oracles.h"
 #include "src/chaos/shrinker.h"
 #include "src/chaos/spec_codec.h"
-#include "src/exp/json.h"
+#include "src/util/json.h"
 
 namespace dibs::chaos {
 namespace {

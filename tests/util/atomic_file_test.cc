@@ -1,0 +1,136 @@
+// WriteFileDurable / DurableAppendFile contracts (src/util/atomic_file):
+// whole-file replace is all-or-nothing and leaves no temp droppings behind,
+// failures are reported (never thrown) with an errno-tagged reason and never
+// leave a partial file, and the append log persists every record and reopens
+// in append mode for resume.
+
+#include "src/util/atomic_file.h"
+
+#include <gtest/gtest.h>
+
+#include <dirent.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <fstream>
+#include <iterator>
+#include <string>
+#include <vector>
+
+namespace dibs {
+namespace {
+
+std::string ReadAll(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+class AtomicFileTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    char tmpl[] = "/tmp/dibs_atomic_test_XXXXXX";
+    ASSERT_NE(::mkdtemp(tmpl), nullptr);
+    dir_ = tmpl;
+  }
+
+  void TearDown() override {
+    for (const std::string& name : Entries()) {
+      ::unlink((dir_ + "/" + name).c_str());
+    }
+    ::rmdir(dir_.c_str());
+  }
+
+  std::vector<std::string> Entries() const {
+    std::vector<std::string> names;
+    DIR* d = ::opendir(dir_.c_str());
+    if (d == nullptr) {
+      return names;
+    }
+    while (struct dirent* e = ::readdir(d)) {
+      const std::string name = e->d_name;
+      if (name != "." && name != "..") {
+        names.push_back(name);
+      }
+    }
+    ::closedir(d);
+    std::sort(names.begin(), names.end());
+    return names;
+  }
+
+  std::string dir_;
+};
+
+TEST_F(AtomicFileTest, WriteCreatesExactContents) {
+  const std::string path = dir_ + "/a.txt";
+  EXPECT_TRUE(WriteFileDurable(path, "hello\nworld\n"));
+  EXPECT_EQ(ReadAll(path), "hello\nworld\n");
+}
+
+TEST_F(AtomicFileTest, WriteReplacesExistingWhole) {
+  const std::string path = dir_ + "/a.txt";
+  ASSERT_TRUE(WriteFileDurable(path, "a much longer first version\n"));
+  ASSERT_TRUE(WriteFileDurable(path, "v2\n"));
+  // Shorter replacement must not leave a tail of the old content behind.
+  EXPECT_EQ(ReadAll(path), "v2\n");
+}
+
+TEST_F(AtomicFileTest, NoTempFilesSurviveASuccessfulWrite) {
+  ASSERT_TRUE(WriteFileDurable(dir_ + "/a.txt", "x"));
+  ASSERT_TRUE(WriteFileDurable(dir_ + "/a.txt", "y"));
+  EXPECT_EQ(Entries(), std::vector<std::string>{"a.txt"});
+}
+
+TEST_F(AtomicFileTest, MissingDirectoryReportsErrorWithoutThrowing) {
+  std::string error;
+  EXPECT_FALSE(WriteFileDurable(dir_ + "/no/such/dir/a.txt", "x", &error));
+  EXPECT_FALSE(error.empty());
+  EXPECT_EQ(Entries(), std::vector<std::string>{});
+}
+
+TEST_F(AtomicFileTest, EmptyContentsAreValid) {
+  const std::string path = dir_ + "/empty";
+  ASSERT_TRUE(WriteFileDurable(path, "a"));
+  ASSERT_TRUE(WriteFileDurable(path, ""));
+  EXPECT_EQ(ReadAll(path), "");
+}
+
+TEST_F(AtomicFileTest, AppendPersistsAcrossReopen) {
+  const std::string path = dir_ + "/log";
+  {
+    DurableAppendFile f;
+    ASSERT_TRUE(f.Open(path, /*truncate=*/true));
+    ASSERT_TRUE(f.Append("one\n"));
+    ASSERT_TRUE(f.Append("two\n"));
+  }
+  {
+    DurableAppendFile f;
+    ASSERT_TRUE(f.Open(path, /*truncate=*/false));
+    ASSERT_TRUE(f.Append("three\n"));
+  }
+  EXPECT_EQ(ReadAll(path), "one\ntwo\nthree\n");
+}
+
+TEST_F(AtomicFileTest, TruncatingOpenStartsFresh) {
+  const std::string path = dir_ + "/log";
+  {
+    DurableAppendFile f;
+    ASSERT_TRUE(f.Open(path, /*truncate=*/true));
+    ASSERT_TRUE(f.Append("stale\n"));
+  }
+  DurableAppendFile f;
+  ASSERT_TRUE(f.Open(path, /*truncate=*/true));
+  ASSERT_TRUE(f.Append("fresh\n"));
+  EXPECT_EQ(ReadAll(path), "fresh\n");
+}
+
+TEST_F(AtomicFileTest, AppendWithoutOpenFails) {
+  DurableAppendFile f;
+  std::string error;
+  EXPECT_FALSE(f.is_open());
+  EXPECT_FALSE(f.Append("x", &error));
+  EXPECT_FALSE(error.empty());
+}
+
+}  // namespace
+}  // namespace dibs

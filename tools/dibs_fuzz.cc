@@ -34,7 +34,7 @@
 #include "src/chaos/oracles.h"
 #include "src/chaos/shrinker.h"
 #include "src/chaos/spec_codec.h"
-#include "src/exp/json.h"
+#include "src/util/json.h"
 #include "src/util/env.h"
 
 namespace dibs::chaos {
